@@ -1,0 +1,96 @@
+// Command pscc is the MiniSplit compiler driver: it parses, analyzes, and
+// compiles a program, printing the requested intermediate results.
+//
+// Usage:
+//
+//	pscc [flags] file.ms
+//
+//	-procs N      compile for N processors (default 8)
+//	-level L      blocking | baseline | pipelined | oneway (default oneway)
+//	-cse          enable communication elimination
+//	-exact        exact (exponential) simple-path search
+//	-dump-ast     print the parsed program
+//	-dump-ir      print the mid-level IR
+//	-dump-target  print the generated split-phase code (default)
+//	-summary      print analysis statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/source"
+)
+
+func main() {
+	procs := flag.Int("procs", 8, "number of processors")
+	level := flag.String("level", "oneway", "optimization level: blocking|baseline|pipelined|oneway")
+	cse := flag.Bool("cse", false, "enable communication elimination")
+	exact := flag.Bool("exact", false, "exact simple-path search")
+	dumpAST := flag.Bool("dump-ast", false, "print the parsed program")
+	dumpIR := flag.Bool("dump-ir", false, "print the mid-level IR")
+	dumpTarget := flag.Bool("dump-target", true, "print the generated split-phase code")
+	summary := flag.Bool("summary", false, "print analysis statistics")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pscc [flags] file.ms")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	lvl, err := parseLevel(*level)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := splitc.Compile(string(text), splitc.Options{
+		Procs: *procs, Level: lvl, CSE: *cse, Exact: *exact,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpAST {
+		fmt.Println("=== AST ===")
+		fmt.Println(source.Print(prog.AST))
+	}
+	if *dumpIR {
+		fmt.Println("=== IR ===")
+		fmt.Println(prog.IRText())
+	}
+	if *summary {
+		fmt.Println("=== analysis ===")
+		fmt.Println(prog.DelaySummary())
+		fmt.Printf("codegen: %+v\n", prog.Codegen)
+	}
+	if *dumpTarget {
+		fmt.Println("=== target ===")
+		fmt.Println(prog.TargetText())
+	}
+}
+
+func parseLevel(s string) (splitc.Level, error) {
+	switch s {
+	case "blocking":
+		return splitc.LevelBlocking, nil
+	case "baseline":
+		return splitc.LevelBaseline, nil
+	case "pipelined":
+		return splitc.LevelPipelined, nil
+	case "oneway":
+		return splitc.LevelOneWay, nil
+	case "unsafe":
+		return splitc.LevelUnsafe, nil
+	default:
+		return 0, fmt.Errorf("unknown level %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pscc:", err)
+	os.Exit(1)
+}

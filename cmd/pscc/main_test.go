@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestParseLevel(t *testing.T) {
+	for _, name := range []string{"blocking", "baseline", "pipelined", "oneway", "unsafe"} {
+		if _, err := parseLevel(name); err != nil {
+			t.Errorf("parseLevel(%q): %v", name, err)
+		}
+	}
+	if _, err := parseLevel("O3"); err == nil {
+		t.Error("unknown level should fail")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]bool{
+		"blocking": true, "baseline": true, "pipelined": true,
+		"oneway": true, "unsafe": true, "bogus": false, "": false,
+	}
+	for name, ok := range cases {
+		_, err := parseLevel(name)
+		if ok && err != nil {
+			t.Errorf("parseLevel(%q): %v", name, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("parseLevel(%q): expected error", name)
+		}
+	}
+}
+
+func TestParseMachine(t *testing.T) {
+	for _, name := range []string{"cm5", "t3d", "dash", "ideal"} {
+		cfg, err := parseMachine(name, 8)
+		if err != nil {
+			t.Errorf("parseMachine(%q): %v", name, err)
+		}
+		if cfg.Procs != 8 {
+			t.Errorf("parseMachine(%q): procs = %d", name, cfg.Procs)
+		}
+	}
+	if _, err := parseMachine("cray", 8); err == nil {
+		t.Error("unknown machine should fail")
+	}
+}

@@ -1,0 +1,176 @@
+package apps
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+const testProcs = 4
+
+// compileRun compiles a kernel at the given level and runs it on a small
+// CM-5, validating the result.
+func compileRun(t *testing.T, k Kernel, lvl splitc.Level, jitter float64, seed int64) *interp.Result {
+	t.Helper()
+	src := k.Source(testProcs, 1)
+	p, err := splitc.Compile(src, splitc.Options{Procs: testProcs, Level: lvl, CSE: true})
+	if err != nil {
+		t.Fatalf("%s/%s: compile: %v\nsource:\n%s", k.Name, lvl, err, src)
+	}
+	res, err := p.Run(machine.CM5(testProcs), interp.RunOptions{
+		Jitter: jitter, Seed: seed, VerifyDelays: p.Analysis.D,
+	})
+	if err != nil {
+		t.Fatalf("%s/%s: run: %v", k.Name, lvl, err)
+	}
+	if err := k.Check(res, testProcs, 1); err != nil {
+		t.Fatalf("%s/%s: validation: %v", k.Name, lvl, err)
+	}
+	return res
+}
+
+func TestAllKernelsAllLevels(t *testing.T) {
+	levels := []splitc.Level{
+		splitc.LevelBlocking, splitc.LevelBaseline, splitc.LevelPipelined, splitc.LevelOneWay,
+	}
+	for _, k := range All() {
+		for _, lvl := range levels {
+			compileRun(t, k, lvl, 0, 0)
+		}
+	}
+}
+
+func TestAllKernelsUnderJitter(t *testing.T) {
+	for _, k := range All() {
+		for seed := int64(0); seed < 3; seed++ {
+			compileRun(t, k, splitc.LevelOneWay, 2.0, seed)
+		}
+	}
+}
+
+func TestKernelsMatchSCOracle(t *testing.T) {
+	for _, k := range All() {
+		src := k.Source(testProcs, 1)
+		p, err := splitc.Compile(src, splitc.Options{Procs: testProcs, Level: splitc.LevelOneWay})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		sc, err := p.RunSC(123)
+		if err != nil {
+			t.Fatalf("%s: sc: %v", k.Name, err)
+		}
+		if err := k.Validate(sc.Memory, testProcs, 1); err != nil {
+			t.Errorf("%s: SC oracle run failed validation: %v", k.Name, err)
+		}
+	}
+}
+
+func TestOptimizationImproves(t *testing.T) {
+	// The paper's headline: pipelined beats the Shasha-Snir baseline on
+	// every kernel; one-way never loses to pipelined.
+	for _, k := range All() {
+		base := compileRun(t, k, splitc.LevelBaseline, 0, 0)
+		pipe := compileRun(t, k, splitc.LevelPipelined, 0, 0)
+		onew := compileRun(t, k, splitc.LevelOneWay, 0, 0)
+		if pipe.Time >= base.Time {
+			t.Errorf("%s: pipelined %.0f should beat baseline %.0f", k.Name, pipe.Time, base.Time)
+		}
+		if onew.Time > pipe.Time {
+			t.Errorf("%s: one-way %.0f should not lose to pipelined %.0f", k.Name, onew.Time, pipe.Time)
+		}
+		t.Logf("%-8s base %8.0f  pipe %8.0f (%.2fx)  oneway %8.0f (%.2fx)",
+			k.Name, base.Time, pipe.Time, base.Time/pipe.Time, onew.Time, base.Time/onew.Time)
+	}
+}
+
+func TestEpithelConvertsStores(t *testing.T) {
+	k := Epithel()
+	src := k.Source(testProcs, 1)
+	p, err := splitc.Compile(src, splitc.Options{Procs: testProcs, Level: splitc.LevelOneWay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Codegen.PutsConverted == 0 {
+		t.Errorf("epithel transpose writes should convert to stores:\n%s", p.DelaySummary())
+	}
+}
+
+func TestDelaySetsShrink(t *testing.T) {
+	// The ablation claim behind Figure 12: synchronization analysis
+	// shrinks the delay set on every kernel.
+	for _, k := range All() {
+		src := k.Source(testProcs, 1)
+		p, err := splitc.Compile(src, splitc.Options{Procs: testProcs, Level: splitc.LevelPipelined})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		b := p.Analysis.Baseline.Size()
+		d := p.Analysis.D.Size()
+		if d >= b {
+			t.Errorf("%s: delay set did not shrink: baseline %d, refined %d", k.Name, b, d)
+		}
+		t.Logf("%-8s delays: baseline %4d -> refined %4d", k.Name, b, d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("Ocean") == nil || ByName("Health") == nil {
+		t.Error("ByName failed for known kernels")
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName should return nil for unknown kernels")
+	}
+	if len(All()) != 5 {
+		t.Errorf("All returned %d kernels, want 5", len(All()))
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	for _, k := range All() {
+		p1, err := splitc.Compile(k.Source(testProcs, 1), splitc.Options{Procs: testProcs, Level: splitc.LevelOneWay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := splitc.Compile(k.Source(testProcs, 2), splitc.Options{Procs: testProcs, Level: splitc.LevelOneWay})
+		if err != nil {
+			t.Fatalf("%s scale 2: %v", k.Name, err)
+		}
+		r1, err := p1.Run(machine.CM5(testProcs), interp.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := p2.Run(machine.CM5(testProcs), interp.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Check(r2, testProcs, 2); err != nil {
+			t.Errorf("%s scale 2 validation: %v", k.Name, err)
+		}
+		if r2.Time <= r1.Time {
+			t.Errorf("%s: scale 2 (%.0f) should take longer than scale 1 (%.0f)", k.Name, r2.Time, r1.Time)
+		}
+	}
+}
+
+func TestPaperSizeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-processor smoke test skipped in -short mode")
+	}
+	// The full Figure 12 configuration: all kernels validate at 64 procs.
+	for _, k := range All() {
+		src := k.Source(64, 1)
+		p, err := splitc.Compile(src, splitc.Options{Procs: 64, Level: splitc.LevelOneWay})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		res, err := p.Run(machine.CM5(64), interp.RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if err := k.Check(res, 64, 1); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}

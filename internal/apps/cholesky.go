@@ -1,0 +1,140 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Cholesky computes the factor L of a symmetric positive-definite matrix
+// with a right-looking blocked algorithm. Columns are distributed blocked;
+// the computation is producer-consumer: the owner of column k factors it,
+// publishes it (locally, into the shared Fact array), and posts done[k];
+// every processor waits on done[k] before pulling the column to update its
+// own later columns. The pulls are batches of independent remote reads —
+// post/wait analysis is what lets them pipeline.
+func Cholesky() Kernel {
+	return Kernel{Name: "Cholesky", Source: cholSource, Validate: cholValidate}
+}
+
+func cholDims(procs, scale int) (b, per int) {
+	per = scale
+	return per * procs, per
+}
+
+func cholSource(procs, scale int) string {
+	b, per := cholDims(procs, scale)
+	unroll := b%4 == 0 && b >= 4
+	copyLoop := `
+        for (local int i = 0; i < $B; i = i + 1) {
+            buf[i] = Fact[k * $B + i];
+        }`
+	if unroll {
+		// Four independent scalar loads per iteration keep four remote
+		// reads outstanding (the era's hand-unrolling for pipelining).
+		copyLoop = `
+        for (local int i = 0; i < $B; i = i + 4) {
+            local float b0 = Fact[k * $B + i];
+            local float b1 = Fact[k * $B + i + 1];
+            local float b2 = Fact[k * $B + i + 2];
+            local float b3 = Fact[k * $B + i + 3];
+            buf[i] = b0;
+            buf[i + 1] = b1;
+            buf[i + 2] = b2;
+            buf[i + 3] = b3;
+        }`
+	}
+	return expand(`
+// Cholesky: $B x $B matrix, $PER columns per processor.
+shared float Fact[$NB];
+event done[$B];
+
+func main() {
+    // W holds this processor's columns of the working matrix.
+    local float W[$WSZ];
+    for (local int jj = 0; jj < $PER; jj = jj + 1) {
+        for (local int i = 0; i < $B; i = i + 1) {
+            local int d = i - (MYPROC * $PER + jj);
+            if (d < 0) {
+                d = 0 - d;
+            }
+            local float v = 1.0 / itof(1 + d);
+            if (d == 0) {
+                v = v + $B.0;
+            }
+            W[jj * $B + i] = v;
+        }
+    }
+    local float buf[$B];
+    for (local int k = 0; k < $B; k = k + 1) {
+        if (k / $PER == MYPROC) {
+            // Factor column k and publish it (Fact's block is local).
+            local int kk = k - MYPROC * $PER;
+            local float dg = fsqrt(W[kk * $B + k]);
+            for (local int i = 0; i < $B; i = i + 1) {
+                local float lv = 0.0;
+                if (i >= k) {
+                    lv = W[kk * $B + i] / dg;
+                }
+                Fact[k * $B + i] = lv;
+            }
+            post(done[k]);
+        }
+        wait(done[k]);
+        // Pull column k.`+copyLoop+`
+        // Update own later columns.
+        for (local int jj = 0; jj < $PER; jj = jj + 1) {
+            if (MYPROC * $PER + jj > k) {
+                local float m = buf[MYPROC * $PER + jj];
+                for (local int i = 0; i < $B; i = i + 1) {
+                    W[jj * $B + i] = W[jj * $B + i] - buf[i] * m;
+                }
+            }
+        }
+    }
+}
+`, map[string]int{
+		"B": b, "PER": per, "NB": b * b, "WSZ": per * b,
+	})
+}
+
+// cholOracle mirrors the kernel's arithmetic exactly (same op order).
+func cholOracle(procs, scale int) []float64 {
+	b, _ := cholDims(procs, scale)
+	w := make([]float64, b*b) // column-major: col j at [j*b, (j+1)*b)
+	for j := 0; j < b; j++ {
+		for i := 0; i < b; i++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			v := 1.0 / float64(1+d)
+			if d == 0 {
+				v += float64(b)
+			}
+			w[j*b+i] = v
+		}
+	}
+	fact := make([]float64, b*b)
+	for k := 0; k < b; k++ {
+		dg := math.Sqrt(w[k*b+k])
+		for i := 0; i < b; i++ {
+			lv := 0.0
+			if i >= k {
+				lv = w[k*b+i] / dg
+			}
+			fact[k*b+i] = lv
+		}
+		for j := k + 1; j < b; j++ {
+			m := fact[k*b+j]
+			for i := 0; i < b; i++ {
+				w[j*b+i] -= fact[k*b+i] * m
+			}
+		}
+	}
+	return fact
+}
+
+func cholValidate(mem map[string][]ir.Value, procs, scale int) error {
+	return checkFloats(mem, "Fact", cholOracle(procs, scale))
+}

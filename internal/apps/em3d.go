@@ -1,0 +1,100 @@
+package apps
+
+import (
+	"repro/internal/ir"
+)
+
+// EM3D models electromagnetic wave propagation on a bipartite graph
+// (Culler et al.): on alternate half time steps, each E value is updated
+// from several H neighbors and vice versa. Nodes are distributed blocked;
+// the neighbor lists reach into other processors' blocks, so each update
+// issues several independent remote reads — the paper's flagship case for
+// message pipelining. Barriers separate the half steps.
+func EM3D() Kernel {
+	return Kernel{Name: "EM3D", Source: em3dSource, Validate: em3dValidate}
+}
+
+func em3dDims(procs, scale int) (n, per, steps int) {
+	per = 4 * scale
+	return per * procs, per, 2
+}
+
+// em3d neighbor offsets (mod n), chosen to reach off-processor blocks.
+var em3dOffsets = []int{1, 5, 9}
+
+func em3dSource(procs, scale int) string {
+	n, per, steps := em3dDims(procs, scale)
+	return expand(`
+// EM3D leapfrog: $N nodes, $PER per processor, $T whole steps.
+shared float E[$N];
+shared float H[$N];
+
+func main() {
+    for (local int i = 0; i < $PER; i = i + 1) {
+        E[MYPROC * $PER + i] = itof((MYPROC * $PER + i) % 13) * 0.25;
+        H[MYPROC * $PER + i] = itof((MYPROC * $PER + i) % 11) * 0.5;
+    }
+    barrier;
+    for (local int t = 0; t < $T; t = t + 1) {
+        // Half step 1: E from H neighbors.
+        for (local int i = 0; i < $PER; i = i + 1) {
+            E[MYPROC * $PER + i] = E[MYPROC * $PER + i] - 0.125 * (
+                H[(MYPROC * $PER + i + $O0) % $N] +
+                H[(MYPROC * $PER + i + $O1) % $N] +
+                H[(MYPROC * $PER + i + $O2) % $N]);
+        }
+        barrier;
+        // Half step 2: H from E neighbors.
+        for (local int i = 0; i < $PER; i = i + 1) {
+            H[MYPROC * $PER + i] = H[MYPROC * $PER + i] - 0.125 * (
+                E[(MYPROC * $PER + i + $O0) % $N] +
+                E[(MYPROC * $PER + i + $O1) % $N] +
+                E[(MYPROC * $PER + i + $O2) % $N]);
+        }
+        barrier;
+    }
+}
+`, map[string]int{
+		"N": n, "PER": per, "T": steps,
+		"O0": em3dOffsets[0], "O1": em3dOffsets[1], "O2": em3dOffsets[2],
+	})
+}
+
+func em3dOracle(procs, scale int) (e, h []float64) {
+	n, _, steps := em3dDims(procs, scale)
+	e = make([]float64, n)
+	h = make([]float64, n)
+	for i := 0; i < n; i++ {
+		e[i] = float64(i%13) * 0.25
+		h[i] = float64(i%11) * 0.5
+	}
+	for t := 0; t < steps; t++ {
+		ne := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, o := range em3dOffsets {
+				sum += h[(i+o)%n]
+			}
+			ne[i] = e[i] - 0.125*sum
+		}
+		e = ne
+		nh := make([]float64, n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for _, o := range em3dOffsets {
+				sum += e[(i+o)%n]
+			}
+			nh[i] = h[i] - 0.125*sum
+		}
+		h = nh
+	}
+	return e, h
+}
+
+func em3dValidate(mem map[string][]ir.Value, procs, scale int) error {
+	e, h := em3dOracle(procs, scale)
+	if err := checkFloats(mem, "E", e); err != nil {
+		return err
+	}
+	return checkFloats(mem, "H", h)
+}

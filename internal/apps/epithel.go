@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"repro/internal/ir"
+)
+
+// Epithel is the epithelial-cell aggregation simulation: each time step
+// computes local movement forces from neighboring cells and then runs a
+// fluid-solver step whose core is an all-to-all matrix transpose (the 2-D
+// FFT of the Navier-Stokes solver). The transpose phase issues one remote
+// write per element toward a barrier — the paper's flagship case for
+// one-way communication (puts become stores).
+//
+// The cell field is an M x M matrix distributed by rows (M/P rows per
+// processor); the problem size is independent of the processor count up to
+// 32 processors, which is what the Figure 13 speedup study needs.
+func Epithel() Kernel {
+	return Kernel{Name: "Epithel", Source: epithelSource, Validate: epithelValidate}
+}
+
+func epithelDims(procs, scale int) (m, per, steps int) {
+	m = 32 * scale
+	if procs > 32 {
+		m = procs * scale
+	}
+	return m, m / procs, 2
+}
+
+func epithelSource(procs, scale int) string {
+	m, per, steps := epithelDims(procs, scale)
+	n := m * m
+	return expand(`
+// Epithel: $M x $M cell matrix, $PER rows per processor, $T steps.
+shared float A[$N];
+shared float F[$N];
+shared float B[$N];
+
+func main() {
+    for (local int i = 0; i < $PER; i = i + 1) {
+        for (local int j = 0; j < $M; j = j + 1) {
+            A[(MYPROC * $PER + i) * $M + j] = itof(((MYPROC * $PER + i) * $M + j) % 7) * 0.75;
+        }
+    }
+    barrier;
+    for (local int t = 0; t < $T; t = t + 1) {
+        // Force phase: neighbor smoothing into F (remote reads at row
+        // block edges).
+        for (local int i = 0; i < $PER; i = i + 1) {
+            for (local int j = 0; j < $M; j = j + 1) {
+                F[(MYPROC * $PER + i) * $M + j] = 0.5 * A[(MYPROC * $PER + i) * $M + j] + 0.25 * (
+                    A[((MYPROC * $PER + i) * $M + j + 1) % $N] +
+                    A[((MYPROC * $PER + i) * $M + j + $NM1) % $N]);
+            }
+        }
+        barrier;
+        // Solver phase: all-to-all transpose. Element (r, j) goes to
+        // (j, r); nearly every write is remote and its completion is only
+        // needed at the barrier: one-way communication.
+        for (local int i = 0; i < $PER; i = i + 1) {
+            for (local int j = 0; j < $M; j = j + 1) {
+                B[j * $M + MYPROC * $PER + i] = F[(MYPROC * $PER + i) * $M + j] * 0.5;
+            }
+        }
+        barrier;
+        // Gather the transposed rows back into the cell state (local).
+        for (local int i = 0; i < $PER; i = i + 1) {
+            for (local int j = 0; j < $M; j = j + 1) {
+                A[(MYPROC * $PER + i) * $M + j] = B[(MYPROC * $PER + i) * $M + j];
+            }
+        }
+        barrier;
+    }
+}
+`, map[string]int{
+		"M": m, "PER": per, "N": n, "T": steps, "NM1": n - 1,
+	})
+}
+
+func epithelOracle(procs, scale int) (a, b []float64) {
+	m, _, steps := epithelDims(procs, scale)
+	n := m * m
+	a = make([]float64, n)
+	f := make([]float64, n)
+	b = make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = float64(i%7) * 0.75
+	}
+	for t := 0; t < steps; t++ {
+		for i := 0; i < n; i++ {
+			f[i] = 0.5*a[i] + 0.25*(a[(i+1)%n]+a[(i+n-1)%n])
+		}
+		for r := 0; r < m; r++ {
+			for c := 0; c < m; c++ {
+				b[c*m+r] = f[r*m+c] * 0.5
+			}
+		}
+		copy(a, b)
+	}
+	return a, b
+}
+
+func epithelValidate(mem map[string][]ir.Value, procs, scale int) error {
+	a, b := epithelOracle(procs, scale)
+	if err := checkFloats(mem, "A", a); err != nil {
+		return err
+	}
+	return checkFloats(mem, "B", b)
+}

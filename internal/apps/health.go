@@ -1,0 +1,95 @@
+package apps
+
+import (
+	"repro/internal/ir"
+)
+
+// Health simulates a hierarchical health-care service system (the Presto
+// benchmark): villages generate patients and file them with their
+// hospital; hospitals treat a bounded number per round. All shared state
+// is guarded by per-hospital locks, so this kernel exercises the lock
+// analysis of section 5.3: inside a critical section the independent
+// remote reads (and the updates) of the hospital's record may overlap,
+// where the baseline serializes them.
+//
+// A final drain round (after a barrier, when generation has stopped) makes
+// the end state deterministic: every generated patient has been treated.
+func Health() Kernel {
+	return Kernel{Name: "Health", Source: healthSource, Validate: healthValidate}
+}
+
+func healthDims(procs, scale int) (hospitals, rounds, capacity int) {
+	hospitals = procs / 2
+	if hospitals < 1 {
+		hospitals = 1
+	}
+	return hospitals, 2 * scale, 2
+}
+
+func healthSource(procs, scale int) string {
+	h, rounds, capacity := healthDims(procs, scale)
+	return expand(`
+// Health: $P villages, $H hospitals, $T rounds, capacity $CAP per round.
+// Each hospital record has a waiting count, a total-arrivals statistic,
+// and a treated count, all guarded by the hospital's lock.
+shared int Waiting[$H];
+shared int TotalIn[$H];
+shared int Treated[$H];
+lock hl[$H];
+
+func main() {
+    local int myhosp = MYPROC % $H;
+    for (local int t = 0; t < $T; t = t + 1) {
+        // The village files new patients with its hospital: two
+        // independent reads, then two independent updates.
+        local int newpat = (MYPROC + t) % 3;
+        lock(hl[myhosp]);
+        local int w = Waiting[myhosp];
+        local int ti = TotalIn[myhosp];
+        Waiting[myhosp] = w + newpat;
+        TotalIn[myhosp] = ti + newpat;
+        unlock(hl[myhosp]);
+        // Hospital owners treat up to the round capacity. (For owners,
+        // myhosp == MYPROC, so both sections name the same lock object.)
+        if (MYPROC < $H) {
+            lock(hl[myhosp]);
+            local int w2 = Waiting[myhosp];
+            local int pend = Treated[myhosp];
+            local int tr = imin(w2, $CAP);
+            Waiting[myhosp] = w2 - tr;
+            Treated[myhosp] = pend + tr;
+            unlock(hl[myhosp]);
+        }
+    }
+    barrier;
+    // Drain: generation has stopped; treat everyone still waiting.
+    if (MYPROC < $H) {
+        lock(hl[myhosp]);
+        local int w = Waiting[myhosp];
+        local int pend = Treated[myhosp];
+        Treated[myhosp] = pend + w;
+        Waiting[myhosp] = 0;
+        unlock(hl[myhosp]);
+    }
+}
+`, map[string]int{
+		"P": procs, "H": h, "T": rounds, "CAP": capacity,
+	})
+}
+
+func healthValidate(mem map[string][]ir.Value, procs, scale int) error {
+	h, rounds, _ := healthDims(procs, scale)
+	want := make([]int64, h)
+	for v := 0; v < procs; v++ {
+		for t := 0; t < rounds; t++ {
+			want[v%h] += int64((v + t) % 3)
+		}
+	}
+	if err := checkInts(mem, "Treated", want); err != nil {
+		return err
+	}
+	if err := checkInts(mem, "TotalIn", want); err != nil {
+		return err
+	}
+	return checkInts(mem, "Waiting", make([]int64, h))
+}

@@ -1,0 +1,127 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// expand substitutes $NAME tokens with integer values in a source template.
+// Longer names are replaced first so $NW does not clash with $N.
+func expand(src string, vars map[string]int) string {
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return len(names[i]) > len(names[j]) })
+	var pairs []string
+	for _, n := range names {
+		pairs = append(pairs, "$"+n, fmt.Sprint(vars[n]))
+	}
+	return strings.NewReplacer(pairs...).Replace(src)
+}
+
+// Ocean is the SPLASH ocean-circulation kernel: a Jacobi-style 4-point
+// stencil over a distributed grid iterated in barrier-separated phases.
+// One grid row lives on each processor; before each sweep the row is
+// pushed into the neighbors' ghost rows (remote writes whose completion is
+// only needed at the next barrier — one-way communication), and the sweep
+// itself then runs on local data.
+func Ocean() Kernel {
+	return Kernel{Name: "Ocean", Source: oceanSource, Validate: oceanValidate}
+}
+
+// oceanDims gives the grid dimensions: one row per processor.
+func oceanDims(procs, scale int) (rows, cols, steps int) {
+	return procs, 8 + 8*scale, 2
+}
+
+func oceanSource(procs, scale int) string {
+	n, w, steps := oceanDims(procs, scale)
+	return expand(`
+// Ocean: Jacobi stencil, $N x $W grid, one row per processor, $T steps.
+// GU[p*W..] holds processor p's ghost copy of the row above it; GD the
+// row below it.
+shared float U[$NW];
+shared float V[$NW];
+shared float GU[$NW];
+shared float GD[$NW];
+
+func main() {
+    for (local int c = 0; c < $W; c = c + 1) {
+        U[MYPROC * $W + c] = itof((MYPROC * $W + c) % 17) * 0.5;
+    }
+    barrier;
+    for (local int t = 0; t < $T; t = t + 1) {
+        // Exchange phase: push my row into the neighbors' ghost rows.
+        // These remote writes need only complete by the barrier.
+        if (MYPROC > 0) {
+            for (local int c = 0; c < $W; c = c + 1) {
+                GD[(MYPROC - 1) * $W + c] = U[MYPROC * $W + c];
+            }
+        }
+        if (MYPROC < $NTOP) {
+            for (local int c = 0; c < $W; c = c + 1) {
+                GU[(MYPROC + 1) * $W + c] = U[MYPROC * $W + c];
+            }
+        }
+        barrier;
+        // Sweep phase: all operands are now local.
+        if (MYPROC > 0 && MYPROC < $NTOP) {
+            V[MYPROC * $W + 0] = U[MYPROC * $W + 0];
+            V[MYPROC * $W + $WTOP] = U[MYPROC * $W + $WTOP];
+            for (local int c = 1; c < $WTOP; c = c + 1) {
+                V[MYPROC * $W + c] = 0.25 * (
+                    GU[MYPROC * $W + c] +
+                    GD[MYPROC * $W + c] +
+                    U[MYPROC * $W + c - 1] +
+                    U[MYPROC * $W + c + 1]);
+            }
+        } else {
+            for (local int c = 0; c < $W; c = c + 1) {
+                V[MYPROC * $W + c] = U[MYPROC * $W + c];
+            }
+        }
+        barrier;
+        // Copy back (local).
+        for (local int c = 0; c < $W; c = c + 1) {
+            U[MYPROC * $W + c] = V[MYPROC * $W + c];
+        }
+        barrier;
+    }
+}
+`, map[string]int{
+		"N": n, "W": w, "T": steps,
+		"NW": n * w, "NTOP": n - 1, "WTOP": w - 1,
+	})
+}
+
+func oceanOracle(procs, scale int) []float64 {
+	n, w, steps := oceanDims(procs, scale)
+	u := make([]float64, n*w)
+	v := make([]float64, n*w)
+	for g := 0; g < n; g++ {
+		for c := 0; c < w; c++ {
+			u[g*w+c] = float64((g*w+c)%17) * 0.5
+		}
+	}
+	for t := 0; t < steps; t++ {
+		for g := 0; g < n; g++ {
+			for c := 0; c < w; c++ {
+				if g > 0 && g < n-1 && c > 0 && c < w-1 {
+					v[g*w+c] = 0.25 * (u[(g-1)*w+c] + u[(g+1)*w+c] + u[g*w+c-1] + u[g*w+c+1])
+				} else {
+					v[g*w+c] = u[g*w+c]
+				}
+			}
+		}
+		copy(u, v)
+	}
+	return u
+}
+
+func oceanValidate(mem map[string][]ir.Value, procs, scale int) error {
+	return checkFloats(mem, "U", oceanOracle(procs, scale))
+}

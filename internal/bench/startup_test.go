@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/apps"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+// TestLowStartupClaim checks the paper's forward-looking claim ("The
+// relative speedups should be even higher on machines with lower
+// communication startup costs"): the pipelining gain on the J-Machine
+// model exceeds the CM-5 gain for a communication-bound kernel.
+func TestLowStartupClaim(t *testing.T) {
+	const procs = 8
+	k := apps.ByName("EM3D")
+	src := k.Source(procs, 1)
+
+	gain := func(cfg machine.Config) float64 {
+		t.Helper()
+		times := map[splitc.Level]float64{}
+		for _, lvl := range []splitc.Level{splitc.LevelBaseline, splitc.LevelPipelined} {
+			p, err := splitc.Compile(src, splitc.Options{Procs: procs, Level: lvl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(cfg, interp.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Check(res, procs, 1); err != nil {
+				t.Fatal(err)
+			}
+			times[lvl] = res.Time
+		}
+		return 1 - times[splitc.LevelPipelined]/times[splitc.LevelBaseline]
+	}
+
+	cm5 := gain(machine.CM5(procs))
+	jm := gain(machine.JMachine(procs))
+	if jm <= cm5 {
+		t.Errorf("paper claim violated: J-Machine gain %.1f%% should exceed CM-5 gain %.1f%%",
+			jm*100, cm5*100)
+	}
+	t.Logf("pipelining gain: CM-5 %.1f%%, J-Machine %.1f%%", cm5*100, jm*100)
+}
+
+// TestLatencyRatioOrdersGains: across the Table 1 machines, the pipelining
+// gain tracks the remote/local latency ratio (CM-5 worst ratio, biggest
+// gain), the observation the paper's Table 1 sets up.
+func TestLatencyRatioOrdersGains(t *testing.T) {
+	const procs = 8
+	k := apps.ByName("Ocean")
+	src := k.Source(procs, 1)
+
+	gain := func(cfg machine.Config) float64 {
+		t.Helper()
+		var base, opt float64
+		for _, lvl := range []splitc.Level{splitc.LevelBaseline, splitc.LevelOneWay} {
+			p, err := splitc.Compile(src, splitc.Options{Procs: procs, Level: lvl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Run(cfg, interp.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := k.Check(res, procs, 1); err != nil {
+				t.Fatal(err)
+			}
+			if lvl == splitc.LevelBaseline {
+				base = res.Time
+			} else {
+				opt = res.Time
+			}
+		}
+		return 1 - opt/base
+	}
+	cm5 := gain(machine.CM5(procs))
+	dash := gain(machine.DASH(procs))
+	t3d := gain(machine.T3D(procs))
+	if !(cm5 > dash && dash > t3d) {
+		t.Errorf("gains should order by remote/local ratio: CM-5 %.1f%% > DASH %.1f%% > T3D %.1f%%",
+			cm5*100, dash*100, t3d*100)
+	}
+	t.Logf("one-way gain: CM-5 %.1f%%, DASH %.1f%%, T3D %.1f%%", cm5*100, dash*100, t3d*100)
+}

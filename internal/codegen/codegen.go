@@ -1,0 +1,442 @@
+// Package codegen lowers the mid-level IR to the split-phase target form
+// and applies the paper's optimizations (sections 6 and 7):
+//
+//   - message pipelining: every blocking shared read/write becomes a
+//     split-phase get/put with a synchronizing counter, and the sync_ctr
+//     is pushed as far from the initiation as the delay set and the local
+//     dependences allow (the motion rules of section 6);
+//   - two-way to one-way conversion: a put whose every sync_ctr lands
+//     immediately before a barrier (or falls off the end of the program)
+//     becomes an unacknowledged store, drained by the barrier;
+//   - communication elimination: redundant gets are replaced by local
+//     copies, a get of a just-written location forwards the written value,
+//     and overwritten puts are deleted (Figure 11's value reuse, value
+//     propagation, and write-back transformations).
+//
+// The generated code observes both the delay constraints and the local
+// dependences: a sync_ctr never moves past a use of the fetched value, past
+// an access the delay set orders after the initiation, or past a
+// same-processor access that may touch the same address.
+package codegen
+
+import (
+	"sort"
+
+	"repro/internal/delay"
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// Options selects which optimizations run.
+type Options struct {
+	// Delays is the delay set to respect (required).
+	Delays *delay.Set
+	// Pipeline enables sync_ctr motion. When false every initiation is
+	// followed immediately by its sync (blocking-equivalent code).
+	Pipeline bool
+	// OneWay converts puts to stores when all their syncs land at barriers.
+	OneWay bool
+	// CSE enables the communication-eliminating transformations.
+	CSE bool
+	// Hoist moves get/put initiations backwards within blocks.
+	Hoist bool
+}
+
+// Stats describes what the optimizer did.
+type Stats struct {
+	GetsEliminated  int // redundant gets replaced by local copies
+	GetsForwarded   int // gets forwarded from a preceding put
+	GetsDead        int // gets of never-used values removed
+	GetsCached      int // gets satisfied by a value cached across blocks
+	GetsHoistedLICM int // loop-invariant gets moved to preheaders
+	PutsEliminated  int // overwritten puts removed (write-back)
+	PutsConverted   int // puts converted to one-way stores
+	SyncsPlaced     int
+	SyncsAtBarriers int
+	SyncsDropped    int // syncs that fell off the end of the program
+	InitsHoisted    int // initiation statements moved backwards
+	CountersShared  int // accesses sharing another access's counter
+	CountersSaved   int // counter renames performed by allocation
+}
+
+// Result is the compiled program plus optimizer statistics.
+type Result struct {
+	Prog  *target.Prog
+	Stats Stats
+}
+
+// Generate compiles fn with the given delay set and options.
+func Generate(fn *ir.Fn, opts Options) *Result {
+	g := &generator{fn: fn, opts: opts}
+	g.lower()
+	if opts.CSE {
+		g.eliminateDeadGets()
+		g.eliminate()
+		g.hoistLoopInvariantGets()
+		g.globalReuse()
+	}
+	if opts.Hoist {
+		g.hoist()
+	}
+	g.placeSyncs()
+	if opts.OneWay {
+		g.convertOneWay()
+	}
+	g.allocateCounters()
+	g.insertSyncs()
+	return &Result{Prog: g.prog, Stats: g.stats}
+}
+
+type accInfo struct {
+	acc   *ir.Access
+	ctr   target.Ctr
+	isGet bool
+	dst   ir.LocalID // gets only
+	// placement results:
+	positions []pos
+	dropped   int // syncs that reached Ret
+	removed   bool
+}
+
+type pos struct {
+	blk *target.Block
+	idx int // insert before Stmts[idx]; idx == len(Stmts) means at end
+}
+
+type generator struct {
+	fn    *ir.Fn
+	opts  Options
+	prog  *target.Prog
+	infos map[int]*accInfo // by access ID
+	stats Stats
+}
+
+// lower mirrors the IR CFG into target form, turning Loads into Gets and
+// Stores into Puts, each with a fresh counter. No syncs are inserted yet.
+func (g *generator) lower() {
+	fn := g.fn
+	g.prog = &target.Prog{Fn: fn}
+	g.infos = make(map[int]*accInfo)
+	blocks := make([]*target.Block, len(fn.Blocks))
+	for i := range fn.Blocks {
+		blocks[i] = g.prog.NewBlock(i)
+	}
+	ctr := 0
+	for i, b := range fn.Blocks {
+		tb := blocks[i]
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.Load:
+				info := &accInfo{acc: s.Acc, ctr: target.Ctr(ctr), isGet: true, dst: s.Dst}
+				ctr++
+				g.infos[s.Acc.ID] = info
+				tb.Stmts = append(tb.Stmts, &target.Get{Dst: s.Dst, Acc: s.Acc, Ctr: info.ctr})
+			case *ir.Store:
+				info := &accInfo{acc: s.Acc, ctr: target.Ctr(ctr)}
+				ctr++
+				g.infos[s.Acc.ID] = info
+				tb.Stmts = append(tb.Stmts, &target.Put{Acc: s.Acc, Src: s.Src, Ctr: info.ctr})
+			default:
+				tb.Stmts = append(tb.Stmts, &target.Wrap{S: s})
+			}
+		}
+		switch t := b.Term.(type) {
+		case *ir.Jump:
+			tb.Term = &target.Jump{To: blocks[t.To.ID]}
+		case *ir.Branch:
+			tb.Term = &target.Branch{Cond: t.Cond, Then: blocks[t.Then.ID], Else: blocks[t.Else.ID]}
+		case *ir.Ret:
+			tb.Term = &target.Ret{}
+		}
+	}
+	g.prog.Counters = ctr
+}
+
+// stmtUsesLocal reports whether a target statement reads the local.
+func stmtUsesLocal(s target.Stmt, id ir.LocalID) bool {
+	switch s := s.(type) {
+	case *target.Wrap:
+		switch w := s.S.(type) {
+		case *ir.Assign:
+			return ir.ExprUsesLocal(w.Src, id)
+		case *ir.SetElem:
+			return w.Arr == id || ir.ExprUsesLocal(w.Index, id) || ir.ExprUsesLocal(w.Src, id)
+		case *ir.Print:
+			for _, a := range w.Args {
+				if !a.IsStr && ir.ExprUsesLocal(a.E, id) {
+					return true
+				}
+			}
+			return false
+		case *ir.SyncOp:
+			return w.Acc.Index != nil && ir.ExprUsesLocal(w.Acc.Index, id)
+		}
+	case *target.Get:
+		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+	case *target.Put:
+		if ir.ExprUsesLocal(s.Src, id) {
+			return true
+		}
+		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+	case *target.Store:
+		if ir.ExprUsesLocal(s.Src, id) {
+			return true
+		}
+		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+	}
+	return false
+}
+
+// accessOfTarget returns the shared access carried by a target statement.
+func accessOfTarget(s target.Stmt) *ir.Access {
+	switch s := s.(type) {
+	case *target.Get:
+		return s.Acc
+	case *target.Put:
+		return s.Acc
+	case *target.Store:
+		return s.Acc
+	case *target.Wrap:
+		if so, ok := s.S.(*ir.SyncOp); ok {
+			return so.Acc
+		}
+	}
+	return nil
+}
+
+func isWriteStmt(s target.Stmt) bool {
+	switch s.(type) {
+	case *target.Put, *target.Store:
+		return true
+	}
+	return false
+}
+
+// stmtWritesLocal reports whether a target statement (re)defines the local.
+func stmtWritesLocal(s target.Stmt, id ir.LocalID) bool {
+	switch s := s.(type) {
+	case *target.Wrap:
+		switch w := s.S.(type) {
+		case *ir.Assign:
+			return w.Dst == id
+		case *ir.SetElem:
+			return w.Arr == id
+		}
+	case *target.Get:
+		return s.Dst == id
+	}
+	return false
+}
+
+// blocksMotion reports whether the sync for access a (a get into dst when
+// isGet) must execute before statement s.
+func (g *generator) blocksMotion(a *accInfo, s target.Stmt) bool {
+	// Local def-use: the fetched value must be valid before any use, and
+	// the in-flight reply must land before any redefinition of the
+	// destination (the arrival would clobber the newer value).
+	if a.isGet && (stmtUsesLocal(s, a.dst) || stmtWritesLocal(s, a.dst)) {
+		return true
+	}
+	b := accessOfTarget(s)
+	if b == nil {
+		return false
+	}
+	// Delay constraints: a must complete before b initiates.
+	if g.opts.Delays.Has(a.acc.ID, b.ID) {
+		return true
+	}
+	// Same-processor memory dependence: outstanding operations to a
+	// possibly-identical address must stay ordered with later accesses to
+	// it, except for read-after-read.
+	if b.Kind.IsData() && b.Sym == a.acc.Sym {
+		bothReads := a.isGet && !isWriteStmt(s)
+		if !bothReads && ir.MayAliasSameProc(g.fn, a.acc.Index, b.Index, a.acc.ID == b.ID) {
+			return true
+		}
+	}
+	return false
+}
+
+// placeSyncs computes, for every initiation, where its sync_ctr must be
+// inserted, by pushing the sync forward through the CFG (the motion
+// algorithm of section 6).
+func (g *generator) placeSyncs() {
+	for _, blk := range g.prog.Blocks {
+		for idx, s := range blk.Stmts {
+			var info *accInfo
+			switch s := s.(type) {
+			case *target.Get:
+				info = g.infos[s.Acc.ID]
+			case *target.Put:
+				info = g.infos[s.Acc.ID]
+			default:
+				continue
+			}
+			if info == nil {
+				continue
+			}
+			if g.opts.Pipeline {
+				g.push(info, blk, idx+1)
+			} else {
+				info.positions = append(info.positions, pos{blk: blk, idx: idx + 1})
+			}
+		}
+	}
+}
+
+// push advances a sync from (blk, idx) forward until blocked, propagating
+// copies into successors at block ends (rule 1), merging duplicate copies
+// (rule 2b), and dropping copies that reach the end of the program.
+func (g *generator) push(info *accInfo, blk *target.Block, idx int) {
+	type wpos struct {
+		blk *target.Block
+		idx int
+	}
+	seenBlocks := map[int]bool{}
+	placed := map[wpos]bool{}
+	var work []wpos
+	work = append(work, wpos{blk, idx})
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		b, i := p.blk, p.idx
+		stopped := false
+		for ; i < len(b.Stmts); i++ {
+			if g.blocksMotion(info, b.Stmts[i]) {
+				stopped = true
+				break
+			}
+		}
+		if stopped {
+			w := wpos{b, i}
+			if !placed[w] {
+				placed[w] = true
+				info.positions = append(info.positions, pos{blk: b, idx: i})
+			}
+			continue
+		}
+		// Reached the block end.
+		switch t := b.Term.(type) {
+		case *target.Ret:
+			info.dropped++
+		case *target.Branch:
+			// A branch condition that uses the fetched value pins the
+			// sync at the end of this block.
+			if info.isGet && ir.ExprUsesLocal(t.Cond, info.dst) {
+				w := wpos{b, len(b.Stmts)}
+				if !placed[w] {
+					placed[w] = true
+					info.positions = append(info.positions, pos{blk: b, idx: len(b.Stmts)})
+				}
+				continue
+			}
+			for _, s := range b.Succs() {
+				if !seenBlocks[s.ID] {
+					seenBlocks[s.ID] = true
+					work = append(work, wpos{s, 0})
+				}
+			}
+		case *target.Jump:
+			if !seenBlocks[t.To.ID] {
+				seenBlocks[t.To.ID] = true
+				work = append(work, wpos{t.To, 0})
+			}
+		}
+	}
+}
+
+// convertOneWay rewrites puts whose syncs all land immediately before a
+// barrier (or fell off the program end) into one-way stores, deleting the
+// syncs: the barrier's implicit all-store-sync provides the completion.
+func (g *generator) convertOneWay() {
+	for _, blk := range g.prog.Blocks {
+		for idx, s := range blk.Stmts {
+			put, ok := s.(*target.Put)
+			if !ok {
+				continue
+			}
+			info := g.infos[put.Acc.ID]
+			allAtBarriers := true
+			for _, p := range info.positions {
+				if !g.posAtBarrier(p) {
+					allAtBarriers = false
+					break
+				}
+			}
+			if !allAtBarriers {
+				continue
+			}
+			blk.Stmts[idx] = &target.Store{Acc: put.Acc, Src: put.Src}
+			info.positions = nil
+			info.removed = true
+			g.stats.PutsConverted++
+		}
+	}
+}
+
+// posAtBarrier reports whether the position is immediately before a
+// barrier statement (skipping other pending syncs is unnecessary: syncs
+// are not yet materialized).
+func (g *generator) posAtBarrier(p pos) bool {
+	if p.idx >= len(p.blk.Stmts) {
+		return false
+	}
+	b := accessOfTarget(p.blk.Stmts[p.idx])
+	return b != nil && b.Kind == ir.AccBarrier
+}
+
+// insertSyncs materializes the computed sync positions.
+func (g *generator) insertSyncs() {
+	type ins struct {
+		idx int
+		ctr target.Ctr
+	}
+	byBlock := make(map[int][]ins)
+	// Deterministic order: iterate infos by access ID (map order varies).
+	ids := make([]int, 0, len(g.infos))
+	for id := range g.infos {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		info := g.infos[id]
+		if info.removed {
+			continue
+		}
+		g.stats.SyncsDropped += info.dropped
+		for _, p := range info.positions {
+			byBlock[p.blk.ID] = append(byBlock[p.blk.ID], ins{idx: p.idx, ctr: info.ctr})
+			g.stats.SyncsPlaced++
+			if g.posAtBarrier(p) {
+				g.stats.SyncsAtBarriers++
+			}
+		}
+	}
+	for _, blk := range g.prog.Blocks {
+		list := byBlock[blk.ID]
+		if len(list) == 0 {
+			continue
+		}
+		// Stable rebuild: walk once, emitting syncs before their indices.
+		// Shared counters collapse to one sync per (position, counter).
+		at := make(map[int][]target.Ctr)
+		seen := map[ins]bool{}
+		for _, in := range list {
+			if seen[in] {
+				continue
+			}
+			seen[in] = true
+			at[in.idx] = append(at[in.idx], in.ctr)
+		}
+		var out []target.Stmt
+		for i := 0; i <= len(blk.Stmts); i++ {
+			for _, c := range at[i] {
+				out = append(out, &target.SyncCtr{Ctr: c})
+			}
+			if i < len(blk.Stmts) {
+				out = append(out, blk.Stmts[i])
+			}
+		}
+		blk.Stmts = out
+	}
+}

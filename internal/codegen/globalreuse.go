@@ -1,0 +1,266 @@
+package codegen
+
+import (
+	"repro/internal/ir"
+	"repro/internal/target"
+)
+
+// Cross-block value reuse (section 7: "It may be possible to reuse a
+// previously read value even when there are intervening global accesses,
+// as long as it is legal to move the second get up to the point of the
+// first one."). A forward must-availability dataflow over the target CFG
+// computes which fetched values are valid in which locals at each block
+// entry; a get of an already-available address is then deleted (same
+// destination) or turned into a local copy (different destination).
+//
+// The Figure 9/10 cases fall out: after a barrier makes an array
+// read-only for a phase, the phase's loop re-reads become one fetch, and
+// post-wait-completed updates can be cached by later readers.
+//
+// Availability is killed by exactly what kills the block-local reuse:
+// may-aliasing writes by this processor, acquire-like synchronization
+// (wait, lock, barrier — another processor's write may become visible),
+// and redefinition of the address's locals or the holding local.
+
+// availKey identifies a cached fetch.
+type availKey struct {
+	accID int // representative get whose address this entry caches
+	dst   ir.LocalID
+}
+
+type availEntry struct {
+	acc *ir.Access
+	dst ir.LocalID
+}
+
+// scanGets runs the availability transfer function over one block.
+func (g *generator) scanGets(in []availEntry, blk *target.Block) []availEntry {
+	entries := append([]availEntry(nil), in...)
+	fn := g.fn
+
+	killLocal := func(id ir.LocalID) {
+		keep := entries[:0]
+		for _, e := range entries {
+			if e.dst == id {
+				continue
+			}
+			if e.acc.Index != nil && ir.ExprUsesLocal(e.acc.Index, id) {
+				continue
+			}
+			keep = append(keep, e)
+		}
+		entries = keep
+	}
+	killAlias := func(acc *ir.Access) {
+		keep := entries[:0]
+		for _, e := range entries {
+			if e.acc.Sym == acc.Sym && ir.MayAliasSameProc(fn, e.acc.Index, acc.Index, false) {
+				continue
+			}
+			keep = append(keep, e)
+		}
+		entries = keep
+	}
+	killAll := func() { entries = entries[:0] }
+
+	for _, s := range blk.Stmts {
+		switch s := s.(type) {
+		case *target.Get:
+			killLocal(s.Dst)
+			entries = append(entries, availEntry{acc: s.Acc, dst: s.Dst})
+		case *target.Put:
+			killAlias(s.Acc)
+		case *target.Store:
+			killAlias(s.Acc)
+		case *target.SyncCtr:
+			// no effect on availability
+		case *target.Wrap:
+			switch w := s.S.(type) {
+			case *ir.Assign:
+				killLocal(w.Dst)
+			case *ir.SetElem:
+				killLocal(w.Arr)
+			case *ir.SyncOp:
+				switch w.Acc.Kind {
+				case ir.AccWait, ir.AccLock, ir.AccBarrier:
+					killAll()
+				}
+			}
+		}
+	}
+	return entries
+}
+
+// intersect keeps entries present in both sets (same representative
+// address and destination).
+func intersectAvail(a, b []availEntry) []availEntry {
+	var out []availEntry
+	for _, ea := range a {
+		for _, eb := range b {
+			if ea.dst == eb.dst && ea.acc.Sym == eb.acc.Sym && ir.ExprEqual(ea.acc.Index, eb.acc.Index) {
+				out = append(out, ea)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// globalReuse runs the availability fixpoint and rewrites redundant gets.
+func (g *generator) globalReuse() {
+	nb := len(g.prog.Blocks)
+	in := make([][]availEntry, nb)
+	out := make([][]availEntry, nb)
+	known := make([]bool, nb)
+
+	// Predecessors over the target CFG.
+	preds := make([][]*target.Block, nb)
+	for _, b := range g.prog.Blocks {
+		for _, s := range b.Succs() {
+			preds[s.ID] = append(preds[s.ID], b)
+		}
+	}
+
+	in[0] = nil
+	known[0] = true
+	out[0] = g.scanGets(nil, g.prog.Blocks[0])
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range g.prog.Blocks {
+			if bi == 0 {
+				continue
+			}
+			var meet []availEntry
+			any := false
+			for _, p := range preds[bi] {
+				if !known[p.ID] {
+					continue // optimistic: unknown preds do not constrain
+				}
+				if !any {
+					meet = out[p.ID]
+					any = true
+				} else {
+					meet = intersectAvail(meet, out[p.ID])
+				}
+			}
+			if !any {
+				continue
+			}
+			newOut := g.scanGets(meet, b)
+			if !known[bi] || !sameAvail(in[bi], meet) || !sameAvail(out[bi], newOut) {
+				in[bi] = meet
+				out[bi] = newOut
+				known[bi] = true
+				changed = true
+			}
+		}
+	}
+
+	// Rewrite pass: walk each block with its entry availability, applying
+	// the same transfer but replacing redundant gets.
+	for bi, b := range g.prog.Blocks {
+		if !known[bi] {
+			continue
+		}
+		g.rewriteWithAvail(in[bi], b)
+	}
+}
+
+func sameAvail(a, b []availEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].dst != b[i].dst || a[i].acc != b[i].acc {
+			return false
+		}
+	}
+	return true
+}
+
+// rewriteWithAvail replays the transfer function over a block, replacing
+// gets whose address is already cached.
+func (g *generator) rewriteWithAvail(in []availEntry, blk *target.Block) {
+	entries := append([]availEntry(nil), in...)
+	fn := g.fn
+
+	killLocal := func(id ir.LocalID) {
+		keep := entries[:0]
+		for _, e := range entries {
+			if e.dst == id {
+				continue
+			}
+			if e.acc.Index != nil && ir.ExprUsesLocal(e.acc.Index, id) {
+				continue
+			}
+			keep = append(keep, e)
+		}
+		entries = keep
+	}
+	killAlias := func(acc *ir.Access) {
+		keep := entries[:0]
+		for _, e := range entries {
+			if e.acc.Sym == acc.Sym && ir.MayAliasSameProc(fn, e.acc.Index, acc.Index, false) {
+				continue
+			}
+			keep = append(keep, e)
+		}
+		entries = keep
+	}
+
+	var outStmts []target.Stmt
+	for _, s := range blk.Stmts {
+		switch s := s.(type) {
+		case *target.Get:
+			replaced := false
+			for _, e := range entries {
+				if e.acc.Sym == s.Acc.Sym && ir.ExprEqual(e.acc.Index, s.Acc.Index) {
+					delete(g.infos, s.Acc.ID)
+					if e.dst == s.Dst {
+						// The value is already in the right local.
+						g.stats.GetsCached++
+					} else {
+						outStmts = append(outStmts, &target.Wrap{S: &ir.Assign{
+							Dst: s.Dst,
+							Src: &ir.LocalRef{ID: e.dst, T: fn.Locals[e.dst].Type},
+						}})
+						g.stats.GetsCached++
+					}
+					replaced = true
+					break
+				}
+			}
+			killLocal(s.Dst)
+			if replaced {
+				// A copy (if any) redefines s.Dst; entries were updated.
+				entries = append(entries, availEntry{acc: s.Acc, dst: s.Dst})
+				continue
+			}
+			entries = append(entries, availEntry{acc: s.Acc, dst: s.Dst})
+			outStmts = append(outStmts, s)
+		case *target.Put:
+			killAlias(s.Acc)
+			outStmts = append(outStmts, s)
+		case *target.Store:
+			killAlias(s.Acc)
+			outStmts = append(outStmts, s)
+		case *target.Wrap:
+			switch w := s.S.(type) {
+			case *ir.Assign:
+				killLocal(w.Dst)
+			case *ir.SetElem:
+				killLocal(w.Arr)
+			case *ir.SyncOp:
+				switch w.Acc.Kind {
+				case ir.AccWait, ir.AccLock, ir.AccBarrier:
+					entries = entries[:0]
+				}
+			}
+			outStmts = append(outStmts, s)
+		default:
+			outStmts = append(outStmts, s)
+		}
+	}
+	blk.Stmts = outStmts
+}

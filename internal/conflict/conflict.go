@@ -1,0 +1,126 @@
+// Package conflict computes the conflict set C of section 4: a conservative
+// approximation of the cross-processor interferences. C contains all
+// unordered pairs of shared accesses (a1, a2) issued by different processors
+// that may touch the same shared location with at least one write.
+//
+// Because MiniSplit programs are SPMD, every access statement is executed by
+// every processor, so an access may conflict with another *statement* —
+// including itself — whenever their subscripts can coincide on two different
+// processors. The affine owner-computes tests in package ir remove the
+// self-conflicts of distributed-array sweeps (without them, every parallel
+// loop looks like a write-write race with itself and the delay set
+// serializes everything).
+//
+// Synchronization constructs are modeled as conflicting accesses to their
+// synchronization object: post writes its event, wait reads it, lock/unlock
+// write their lock, and every barrier accesses a single global barrier
+// object. This is exactly the paper's starting point ("It is correct to
+// treat synchronization constructs as simply conflicting memory accesses"),
+// which the synchronization analysis then sharpens.
+package conflict
+
+import (
+	"repro/internal/ir"
+)
+
+// Set is the computed conflict relation over a function's accesses.
+type Set struct {
+	fn       *ir.Fn
+	partners [][]int // partners[a] = accesses conflicting with a (sorted)
+	matrix   []bool  // n*n symmetric adjacency
+	n        int
+}
+
+// Compute builds the conflict set for fn.
+func Compute(fn *ir.Fn) *Set {
+	n := len(fn.Accesses)
+	s := &Set{fn: fn, partners: make([][]int, n), matrix: make([]bool, n*n), n: n}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if conflicts(fn, fn.Accesses[i], fn.Accesses[j]) {
+				s.matrix[i*n+j] = true
+				s.matrix[j*n+i] = true
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if s.matrix[i*n+j] {
+				s.partners[i] = append(s.partners[i], j)
+			}
+		}
+	}
+	return s
+}
+
+// conflicts decides whether accesses a and b, executed by two different
+// processors, may interfere.
+func conflicts(fn *ir.Fn, a, b *ir.Access) bool {
+	switch {
+	case a.Kind == ir.AccBarrier || b.Kind == ir.AccBarrier:
+		// All barrier episodes access the single global barrier object.
+		return a.Kind == ir.AccBarrier && b.Kind == ir.AccBarrier
+	case a.Kind.IsSync() != b.Kind.IsSync():
+		// A data access never conflicts with a synchronization access:
+		// they touch different objects (events/locks are not data).
+		return false
+	case a.Kind.IsSync():
+		// post/wait conflict on the same event; lock/unlock on the same lock.
+		if a.Sym != b.Sym {
+			return false
+		}
+		eventLike := func(k ir.AccessKind) bool { return k == ir.AccPost || k == ir.AccWait }
+		if eventLike(a.Kind) != eventLike(b.Kind) {
+			return false
+		}
+		// wait/wait is a read-read pair on the event object: no conflict.
+		if a.Kind == ir.AccWait && b.Kind == ir.AccWait {
+			return false
+		}
+		return !indexDistinct(fn, a, b)
+	default:
+		// Data accesses: same symbol, at least one write, overlapping index.
+		if a.Sym != b.Sym {
+			return false
+		}
+		if a.Kind == ir.AccRead && b.Kind == ir.AccRead {
+			return false
+		}
+		return !indexDistinct(fn, a, b)
+	}
+}
+
+// indexDistinct reports whether the two accesses provably address distinct
+// locations whenever executed by different processors.
+func indexDistinct(fn *ir.Fn, a, b *ir.Access) bool {
+	if a.Sym != nil && !a.Sym.IsArr {
+		return false // scalars always collide across processors
+	}
+	return ir.DistinctAcrossProcs(fn, a.Index, b.Index)
+}
+
+// Conflicts reports whether accesses a and b conflict.
+func (s *Set) Conflicts(a, b int) bool { return s.matrix[a*s.n+b] }
+
+// Partners returns the accesses conflicting with a (sorted ascending).
+// The result is shared; callers must not modify it.
+func (s *Set) Partners(a int) []int { return s.partners[a] }
+
+// Pairs returns the unordered conflict pairs (a <= b).
+func (s *Set) Pairs() [][2]int {
+	var out [][2]int
+	for a := 0; a < s.n; a++ {
+		for _, b := range s.partners[a] {
+			if a <= b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// Size returns the number of unordered conflict pairs.
+func (s *Set) Size() int { return len(s.Pairs()) }
+
+// N returns the number of accesses.
+func (s *Set) N() int { return s.n }

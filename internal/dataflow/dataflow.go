@@ -1,0 +1,287 @@
+// Package dataflow provides the standard sequential analyses the paper's
+// code generator consumes ("the use-def graph for each processor's
+// variable access (obtained through standard sequential compiler
+// analysis)"): reaching definitions and live variables over the mid-level
+// IR, computed with a worklist algorithm over basic blocks.
+package dataflow
+
+import (
+	"repro/internal/ir"
+)
+
+// DefID identifies one definition site: the i-th definition point in a
+// deterministic walk of the function.
+type DefID int
+
+// Def describes a definition site of a local.
+type Def struct {
+	ID    DefID
+	Local ir.LocalID
+	Blk   *ir.Block
+	Idx   int // statement index within Blk
+}
+
+// ReachingDefs is the result of reaching-definitions analysis.
+type ReachingDefs struct {
+	Fn   *ir.Fn
+	Defs []Def
+	// In[b] is the set of definitions reaching block b's entry.
+	In [][]bool
+	// defsOf[local] lists definition IDs of that local.
+	defsOf map[ir.LocalID][]DefID
+}
+
+// stmtDef returns the local defined by a statement, if any. SetElem
+// "defines" the whole array conservatively; Load defines its destination.
+func stmtDef(s ir.Stmt) (ir.LocalID, bool) {
+	switch s := s.(type) {
+	case *ir.Assign:
+		return s.Dst, true
+	case *ir.SetElem:
+		return s.Arr, true
+	case *ir.Load:
+		return s.Dst, true
+	}
+	return 0, false
+}
+
+// stmtUses appends the locals read by a statement.
+func stmtUses(s ir.Stmt, out []ir.LocalID) []ir.LocalID {
+	switch s := s.(type) {
+	case *ir.Assign:
+		out = ir.ExprLocals(s.Src, out)
+	case *ir.SetElem:
+		// The array is also a use: other elements persist.
+		out = append(out, s.Arr)
+		out = ir.ExprLocals(s.Index, out)
+		out = ir.ExprLocals(s.Src, out)
+	case *ir.Load:
+		if s.Acc.Index != nil {
+			out = ir.ExprLocals(s.Acc.Index, out)
+		}
+	case *ir.Store:
+		out = ir.ExprLocals(s.Src, out)
+		if s.Acc.Index != nil {
+			out = ir.ExprLocals(s.Acc.Index, out)
+		}
+	case *ir.SyncOp:
+		if s.Acc.Index != nil {
+			out = ir.ExprLocals(s.Acc.Index, out)
+		}
+	case *ir.Print:
+		for _, a := range s.Args {
+			if !a.IsStr {
+				out = ir.ExprLocals(a.E, out)
+			}
+		}
+	}
+	return out
+}
+
+// termUses appends the locals read by a terminator.
+func termUses(t ir.Term, out []ir.LocalID) []ir.LocalID {
+	if br, ok := t.(*ir.Branch); ok {
+		out = ir.ExprLocals(br.Cond, out)
+	}
+	return out
+}
+
+// ComputeReaching runs reaching-definitions to a fixpoint.
+func ComputeReaching(fn *ir.Fn) *ReachingDefs {
+	rd := &ReachingDefs{Fn: fn, defsOf: map[ir.LocalID][]DefID{}}
+	for _, b := range fn.Blocks {
+		for i, s := range b.Stmts {
+			if l, ok := stmtDef(s); ok {
+				id := DefID(len(rd.Defs))
+				rd.Defs = append(rd.Defs, Def{ID: id, Local: l, Blk: b, Idx: i})
+				rd.defsOf[l] = append(rd.defsOf[l], id)
+			}
+		}
+	}
+	n := len(rd.Defs)
+	nb := len(fn.Blocks)
+	rd.In = make([][]bool, nb)
+	out := make([][]bool, nb)
+	for i := range rd.In {
+		rd.In[i] = make([]bool, n)
+		out[i] = make([]bool, n)
+	}
+	// gen/kill per block. A SetElem does not kill (partial update).
+	gen := make([][]bool, nb)
+	kill := make([][]bool, nb)
+	for bi, b := range fn.Blocks {
+		gen[bi] = make([]bool, n)
+		kill[bi] = make([]bool, n)
+		for i, s := range b.Stmts {
+			l, ok := stmtDef(s)
+			if !ok {
+				continue
+			}
+			_, isSet := s.(*ir.SetElem)
+			if !isSet {
+				for _, d := range rd.defsOf[l] {
+					gen[bi][d] = false
+					kill[bi][d] = true
+				}
+			}
+			// The definition at (b, i) itself.
+			for _, d := range rd.defsOf[l] {
+				if rd.Defs[d].Blk == b && rd.Defs[d].Idx == i {
+					gen[bi][d] = true
+					kill[bi][d] = false
+				}
+			}
+		}
+	}
+	preds := fn.Preds()
+	changed := true
+	for changed {
+		changed = false
+		for bi, b := range fn.Blocks {
+			in := make([]bool, n)
+			for _, p := range preds[b.ID] {
+				for d, v := range out[p.ID] {
+					if v {
+						in[d] = true
+					}
+				}
+			}
+			newOut := make([]bool, n)
+			for d := range newOut {
+				newOut[d] = gen[bi][d] || (in[d] && !kill[bi][d])
+			}
+			if !same(in, rd.In[bi]) || !same(newOut, out[bi]) {
+				rd.In[bi] = in
+				out[bi] = newOut
+				changed = true
+			}
+		}
+	}
+	return rd
+}
+
+// ReachingAt returns the definitions of local that reach the program point
+// just before statement idx of block b.
+func (rd *ReachingDefs) ReachingAt(b *ir.Block, idx int, local ir.LocalID) []Def {
+	live := map[DefID]bool{}
+	for d, v := range rd.In[b.ID] {
+		if v && rd.Defs[d].Local == local {
+			live[DefID(d)] = true
+		}
+	}
+	for i := 0; i < idx && i < len(b.Stmts); i++ {
+		s := b.Stmts[i]
+		l, ok := stmtDef(s)
+		if !ok || l != local {
+			continue
+		}
+		if _, isSet := s.(*ir.SetElem); !isSet {
+			for d := range live {
+				delete(live, d)
+			}
+		}
+		for _, d := range rd.defsOf[local] {
+			if rd.Defs[d].Blk == b && rd.Defs[d].Idx == i {
+				live[d] = true
+			}
+		}
+	}
+	var out []Def
+	for _, d := range rd.Defs {
+		if live[d.ID] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Liveness is the result of live-variable analysis.
+type Liveness struct {
+	Fn *ir.Fn
+	// Out[b] is the set of locals live at block b's exit.
+	Out [][]bool
+}
+
+// ComputeLiveness runs backward live-variable analysis to a fixpoint.
+func ComputeLiveness(fn *ir.Fn) *Liveness {
+	nl := len(fn.Locals)
+	nb := len(fn.Blocks)
+	lv := &Liveness{Fn: fn, Out: make([][]bool, nb)}
+	in := make([][]bool, nb)
+	for i := range lv.Out {
+		lv.Out[i] = make([]bool, nl)
+		in[i] = make([]bool, nl)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			b := fn.Blocks[bi]
+			out := make([]bool, nl)
+			for _, s := range b.Succs() {
+				for l, v := range in[s.ID] {
+					if v {
+						out[l] = true
+					}
+				}
+			}
+			// Transfer backward through terminator then statements.
+			cur := make([]bool, nl)
+			copy(cur, out)
+			for _, l := range termUses(b.Term, nil) {
+				cur[l] = true
+			}
+			for i := len(b.Stmts) - 1; i >= 0; i-- {
+				s := b.Stmts[i]
+				if l, ok := stmtDef(s); ok {
+					if _, isSet := s.(*ir.SetElem); !isSet {
+						cur[l] = false
+					}
+				}
+				for _, l := range stmtUses(s, nil) {
+					cur[l] = true
+				}
+			}
+			if !same(out, lv.Out[bi]) || !same(cur, in[bi]) {
+				lv.Out[bi] = out
+				in[bi] = cur
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveAfter reports whether local is live just after statement idx of
+// block b (i.e. its value may still be read).
+func (lv *Liveness) LiveAfter(b *ir.Block, idx int, local ir.LocalID) bool {
+	cur := make([]bool, len(lv.Fn.Locals))
+	copy(cur, lv.Out[b.ID])
+	for _, l := range termUses(b.Term, nil) {
+		cur[l] = true
+	}
+	for i := len(b.Stmts) - 1; i > idx; i-- {
+		s := b.Stmts[i]
+		if l, ok := stmtDef(s); ok {
+			if _, isSet := s.(*ir.SetElem); !isSet {
+				cur[l] = false
+			}
+		}
+		for _, l := range stmtUses(s, nil) {
+			cur[l] = true
+		}
+	}
+	return cur[local]
+}
+
+func same(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

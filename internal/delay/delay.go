@@ -1,0 +1,318 @@
+// Package delay implements cycle detection: the computation of delay sets
+// in the style of Shasha & Snir, as reformulated in section 4 of the paper.
+//
+// A delay edge [a, b] (a before b in program order P) says the compiler and
+// machine must not initiate b until a has completed. The sufficient delay
+// set D contains every program-order pair that has a *back-path*: a path
+// from b back to a in P ∪ C whose first and last edges are conflict edges.
+// Enforcing D makes every weakly consistent execution sequentially
+// consistent (Theorem 1 of the paper).
+//
+// Two search strategies are provided:
+//
+//   - the default polynomial search ignores the simple-path side conditions
+//     of Definition 1. That over-approximates the set of back-paths, hence
+//     over-approximates D — always correct, sometimes larger. This is
+//     exactly the SPMD two-copy reduction of Krishnamurthy & Yelick
+//     (LCPC 1994): conceptually every access has a local and a remote
+//     copy, a back-path leaves the local copy of b on a conflict edge,
+//     wanders the remote copies along program and conflict edges, and
+//     re-enters the local copy of a on a conflict edge — which is the
+//     first-edge/last-edge-conflict reachability this search computes in
+//     O(pairs x edges);
+//   - the exact search enumerates simple paths (no repeated accesses) and
+//     is exponential in the worst case; it is intended for small programs
+//     and for the ablation comparing delay-set sizes.
+//
+// Synchronization-aware refinements enter through the Constraints hooks:
+// directed conflict edges (orientation by the precedence relation R) and
+// per-pair node removal (precedence and mutual-exclusion disqualification).
+package delay
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/conflict"
+	"repro/internal/ir"
+)
+
+// Pair is a delay edge: Pair{A, B} means access A must complete before
+// access B is initiated; A precedes B in program order.
+type Pair struct {
+	A, B int
+}
+
+// Set is a computed delay set.
+type Set struct {
+	Fn    *ir.Fn
+	pairs map[Pair]bool
+}
+
+// NewSet returns an empty delay set for fn.
+func NewSet(fn *ir.Fn) *Set {
+	return &Set{Fn: fn, pairs: make(map[Pair]bool)}
+}
+
+// Add inserts a delay edge.
+func (s *Set) Add(a, b int) { s.pairs[Pair{a, b}] = true }
+
+// Has reports whether [a, b] is a delay edge.
+func (s *Set) Has(a, b int) bool { return s.pairs[Pair{a, b}] }
+
+// Size returns the number of delay edges.
+func (s *Set) Size() int { return len(s.pairs) }
+
+// Pairs returns the delay edges sorted for deterministic output.
+func (s *Set) Pairs() []Pair {
+	out := make([]Pair, 0, len(s.pairs))
+	for p := range s.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Successors returns the accesses that must wait for a's completion
+// (the b's of every delay edge [a, b]), sorted.
+func (s *Set) Successors(a int) []int {
+	var out []int
+	for p := range s.pairs {
+		if p.A == a {
+			out = append(out, p.B)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Union returns a new set containing the edges of both sets.
+func (s *Set) Union(o *Set) *Set {
+	u := NewSet(s.Fn)
+	for p := range s.pairs {
+		u.pairs[p] = true
+	}
+	for p := range o.pairs {
+		u.pairs[p] = true
+	}
+	return u
+}
+
+// String renders the delay set for diagnostics.
+func (s *Set) String() string {
+	var sb strings.Builder
+	for _, p := range s.Pairs() {
+		fmt.Fprintf(&sb, "[%s -> %s]\n", s.Fn.Accesses[p.A], s.Fn.Accesses[p.B])
+	}
+	return sb.String()
+}
+
+// Constraints parameterizes the back-path search with synchronization
+// information. The zero value (nil funcs) means: conflict edges usable in
+// both directions, no nodes removed — plain Shasha & Snir.
+type Constraints struct {
+	// ConflictDir, when non-nil, restricts the direction in which a
+	// conflict edge may be traversed: the edge x -> y is usable only if
+	// ConflictDir(x, y). Orientation comes from the precedence relation
+	// (step 5 of the section 5.1 algorithm).
+	ConflictDir func(x, y int) bool
+	// Removed, when non-nil, excludes access z from back-path searches for
+	// the pair (a, b) (steps illustrated by Figure 6 and the lock rule of
+	// section 5.3). Endpoints are never excluded.
+	Removed func(a, b, z int) bool
+	// PairFilter, when non-nil, restricts which program-order pairs are
+	// even considered (used for the D1 computation, which looks only at
+	// pairs involving a synchronization access).
+	PairFilter func(a, b int) bool
+	// Exact enables the exponential simple-path search.
+	Exact bool
+	// MaxExactNodes bounds the exact search; programs with more accesses
+	// fall back to the polynomial search. Zero means 64.
+	MaxExactNodes int
+}
+
+// Compute runs the back-path search and returns the delay set.
+//
+// For each program-order pair (a, b), a back-path exists iff there is a
+// path b -> ... -> a whose first and last edges are conflict edges (they
+// may be the same single edge). Interior steps may use program-order edges
+// or conflict edges (in their allowed direction).
+func Compute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints) *Set {
+	fn := ag.Fn
+	out := NewSet(fn)
+	n := len(fn.Accesses)
+	if n == 0 {
+		return out
+	}
+	cdir := con.ConflictDir
+	if cdir == nil {
+		cdir = func(x, y int) bool { return true }
+	}
+	conflictOut := func(x int) []int {
+		var r []int
+		for _, y := range cs.Partners(x) {
+			if cdir(x, y) {
+				r = append(r, y)
+			}
+		}
+		return r
+	}
+
+	// mixed adjacency: program-order successors plus directed conflicts.
+	mixedAdj := func(x int) []int {
+		r := append([]int(nil), ag.G.Adj[x]...)
+		r = append(r, conflictOut(x)...)
+		return r
+	}
+
+	exact := con.Exact && n <= con.maxExact()
+
+	for _, pr := range ag.OrderedPairs() {
+		a, b := pr[0], pr[1]
+		if con.PairFilter != nil && !con.PairFilter(a, b) {
+			continue
+		}
+		// Note (a, a) pairs are real: inside a loop they stand for the
+		// cross-iteration pair (a_k, a_k+1), and a single self-conflict
+		// edge is a valid back-path for them.
+		removed := func(z int) bool {
+			if z == a || z == b {
+				return false
+			}
+			return con.Removed != nil && con.Removed(a, b, z)
+		}
+		var found bool
+		if exact {
+			found = exactBackPath(ag, cs, cdir, a, b, removed)
+		} else {
+			found = polyBackPath(ag, cs, cdir, conflictOut, mixedAdj, a, b, removed)
+		}
+		if found {
+			out.Add(a, b)
+		}
+	}
+	return out
+}
+
+func (c Constraints) maxExact() int {
+	if c.MaxExactNodes > 0 {
+		return c.MaxExactNodes
+	}
+	return 64
+}
+
+// polyBackPath checks for a (not necessarily simple) back-path for (a, b).
+func polyBackPath(ag *ir.AccessGraph, cs *conflict.Set, cdir func(int, int) bool,
+	conflictOut func(int) []int, mixedAdj func(int) []int, a, b int, removed func(int) bool) bool {
+
+	// Direct single conflict edge b -> a.
+	if cs.Conflicts(b, a) && cdir(b, a) {
+		return true
+	}
+	// Seed: conflict successors of b; target: any y with a directed
+	// conflict edge y -> a.
+	isTarget := func(y int) bool { return cs.Conflicts(y, a) && cdir(y, a) }
+	n := cs.N()
+	seen := make([]bool, n)
+	var stack []int
+	for _, x := range conflictOut(b) {
+		if removed(x) {
+			continue
+		}
+		if isTarget(x) {
+			return true
+		}
+		if x == a {
+			continue // reached a not via a final conflict edge; a is endpoint
+		}
+		if !seen[x] {
+			seen[x] = true
+			stack = append(stack, x)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range mixedAdj(u) {
+			if seen[v] || removed(v) {
+				continue
+			}
+			if isTarget(v) {
+				return true
+			}
+			if v == a || v == b {
+				continue
+			}
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	return false
+}
+
+// exactBackPath enumerates simple paths (no repeated accesses) from b to a,
+// first and last edges conflict edges. It prunes with a depth-first search
+// and is exponential in the worst case.
+func exactBackPath(ag *ir.AccessGraph, cs *conflict.Set, cdir func(int, int) bool,
+	a, b int, removed func(int) bool) bool {
+
+	if cs.Conflicts(b, a) && cdir(b, a) {
+		return true
+	}
+	n := cs.N()
+	onPath := make([]bool, n)
+	onPath[b] = true
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		// Can we finish here with a conflict edge into a?
+		if u != b && cs.Conflicts(u, a) && cdir(u, a) {
+			return true
+		}
+		var next []int
+		if u == b {
+			for _, y := range cs.Partners(b) {
+				if cdir(b, y) {
+					next = append(next, y)
+				}
+			}
+		} else {
+			next = append(next, ag.G.Adj[u]...)
+			for _, y := range cs.Partners(u) {
+				if cdir(u, y) {
+					next = append(next, y)
+				}
+			}
+		}
+		for _, v := range next {
+			if v == a || v == b || onPath[v] || removed(v) {
+				continue
+			}
+			onPath[v] = true
+			if dfs(v) {
+				onPath[v] = false
+				return true
+			}
+			onPath[v] = false
+		}
+		return false
+	}
+	return dfs(b)
+}
+
+// ShashaSnir computes the plain Shasha & Snir delay set: no orientation, no
+// removal, every program-order pair considered. This is the baseline the
+// paper's Figure 12 compares against.
+func ShashaSnir(ag *ir.AccessGraph, cs *conflict.Set) *Set {
+	return Compute(ag, cs, Constraints{})
+}
+
+// ShashaSnirExact is ShashaSnir with the simple-path search.
+func ShashaSnirExact(ag *ir.AccessGraph, cs *conflict.Set) *Set {
+	return Compute(ag, cs, Constraints{Exact: true})
+}

@@ -1,0 +1,225 @@
+// Package graph provides the small directed-graph toolkit used by the
+// analyses: reachability, strongly connected components, topological order,
+// and transitive closure over dense integer-indexed node sets.
+package graph
+
+// Digraph is a directed graph over nodes 0..N-1 with adjacency lists.
+type Digraph struct {
+	N   int
+	Adj [][]int
+}
+
+// New returns an empty digraph with n nodes.
+func New(n int) *Digraph {
+	return &Digraph{N: n, Adj: make([][]int, n)}
+}
+
+// AddEdge inserts the edge u -> v. Duplicate edges are allowed and harmless
+// for the algorithms here.
+func (g *Digraph) AddEdge(u, v int) {
+	g.Adj[u] = append(g.Adj[u], v)
+}
+
+// HasEdge reports whether the edge u -> v is present.
+func (g *Digraph) HasEdge(u, v int) bool {
+	for _, w := range g.Adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Reverse returns the transpose graph.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.N)
+	for u, vs := range g.Adj {
+		for _, v := range vs {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// ReachableFrom returns the set of nodes reachable from src (including src)
+// as a boolean slice.
+func (g *Digraph) ReachableFrom(src int) []bool {
+	seen := make([]bool, g.N)
+	g.reach(src, seen, nil)
+	return seen
+}
+
+// ReachableFromFiltered is ReachableFrom restricted to nodes where
+// allowed(n) is true; src itself is always visited. Edges through
+// disallowed nodes are not followed.
+func (g *Digraph) ReachableFromFiltered(src int, allowed func(int) bool) []bool {
+	seen := make([]bool, g.N)
+	g.reach(src, seen, allowed)
+	return seen
+}
+
+func (g *Digraph) reach(src int, seen []bool, allowed func(int) bool) {
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Adj[u] {
+			if seen[v] {
+				continue
+			}
+			if allowed != nil && !allowed(v) {
+				continue
+			}
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+}
+
+// TransitiveClosure returns reach[u][v] = true iff v is reachable from u
+// (u reaches itself only via a cycle or a self-edge... by convention here,
+// reach[u][u] is true always, since every node trivially reaches itself).
+func (g *Digraph) TransitiveClosure() [][]bool {
+	reach := make([][]bool, g.N)
+	for u := 0; u < g.N; u++ {
+		reach[u] = g.ReachableFrom(u)
+	}
+	return reach
+}
+
+// SCC computes strongly connected components with Tarjan's algorithm
+// (iterative). It returns comp, the component index of each node, and the
+// number of components. Component indices are in reverse topological order
+// of the condensation (a component's index is greater than those of
+// components it can reach).
+func (g *Digraph) SCC() (comp []int, ncomp int) {
+	const unvisited = -1
+	n := g.N
+	comp = make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		frames := []frame{{v: start}}
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.Adj[f.v]) {
+				w := g.Adj[f.v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// finish v
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	// Tarjan emits components in reverse topological order already.
+	return comp, ncomp
+}
+
+// Topo returns a topological order of nodes if the graph is acyclic, or
+// ok=false if it has a cycle.
+func (g *Digraph) Topo() (order []int, ok bool) {
+	indeg := make([]int, g.N)
+	for _, vs := range g.Adj {
+		for _, v := range vs {
+			indeg[v]++
+		}
+	}
+	var queue []int
+	for u := 0; u < g.N; u++ {
+		if indeg[u] == 0 {
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.Adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order, len(order) == g.N
+}
+
+// HasPath reports whether dst is reachable from src by a path of length >= 1
+// (src itself counts only if it lies on a cycle or has a self-edge).
+func (g *Digraph) HasPath(src, dst int) bool {
+	seen := make([]bool, g.N)
+	stack := []int{}
+	for _, v := range g.Adj[src] {
+		if v == dst {
+			return true
+		}
+		if !seen[v] {
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Adj[u] {
+			if v == dst {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReachableFrom(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	r := g.ReachableFrom(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("reach[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestReachableFromFiltered(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	r := g.ReachableFromFiltered(0, func(n int) bool { return n != 2 })
+	if !r[1] || r[2] || r[3] {
+		t.Errorf("filtered reach = %v, want node 2 to block the path", r)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.HasEdge(0, 1) {
+		t.Error("Reverse wrong")
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.HasPath(0, 2) {
+		t.Error("path 0->2 not found")
+	}
+	if g.HasPath(2, 0) {
+		t.Error("phantom path 2->0")
+	}
+	// src reaches itself only via a cycle
+	if g.HasPath(0, 0) {
+		t.Error("0 should not reach itself without a cycle")
+	}
+	g.AddEdge(2, 0)
+	if !g.HasPath(0, 0) {
+		t.Error("0 should reach itself via cycle")
+	}
+}
+
+func TestHasPathSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 0)
+	if !g.HasPath(0, 0) {
+		t.Error("self-edge should count as a path")
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// 0 <-> 1, 2 alone, 3 -> 0
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(3, 0)
+	comp, n := g.SCC()
+	if n != 3 {
+		t.Fatalf("got %d components, want 3", n)
+	}
+	if comp[0] != comp[1] {
+		t.Error("0 and 1 should share a component")
+	}
+	if comp[2] == comp[0] || comp[3] == comp[0] {
+		t.Error("2 and 3 should be singletons")
+	}
+}
+
+func TestSCCReverseTopoOrder(t *testing.T) {
+	// a -> b means comp[a] > comp[b] for Tarjan's reverse topological output.
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	comp, n := g.SCC()
+	if n != 3 {
+		t.Fatalf("got %d components, want 3", n)
+	}
+	if !(comp[0] > comp[1] && comp[1] > comp[2]) {
+		t.Errorf("components not in reverse topological order: %v", comp)
+	}
+}
+
+func TestSCCBigCycle(t *testing.T) {
+	const n = 1000
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	comp, nc := g.SCC()
+	if nc != 1 {
+		t.Fatalf("got %d components, want 1", nc)
+	}
+	for i := 1; i < n; i++ {
+		if comp[i] != comp[0] {
+			t.Fatalf("node %d in different component", i)
+		}
+	}
+}
+
+func TestTopo(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	order, ok := g.Topo()
+	if !ok {
+		t.Fatal("acyclic graph reported as cyclic")
+	}
+	pos := make([]int, 4)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for u, vs := range g.Adj {
+		for _, v := range vs {
+			if pos[u] >= pos[v] {
+				t.Errorf("edge %d->%d violates topo order", u, v)
+			}
+		}
+	}
+}
+
+func TestTopoCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, ok := g.Topo(); ok {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	tc := g.TransitiveClosure()
+	if !tc[0][2] {
+		t.Error("0 should reach 2")
+	}
+	if tc[2][0] {
+		t.Error("2 should not reach 0")
+	}
+	if !tc[1][1] {
+		t.Error("nodes trivially reach themselves in TransitiveClosure")
+	}
+}
+
+// Property: SCC component count equals number of distinct components, and
+// two nodes share a component iff each reaches the other.
+func TestSCCAgainstReachability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := New(n)
+		for e := 0; e < rng.Intn(2*n); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		comp, _ := g.SCC()
+		tc := g.TransitiveClosure()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				mutual := tc[u][v] && tc[v][u]
+				if (comp[u] == comp[v]) != mutual {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Topo succeeds iff the graph has no SCC of size > 1 and no self-loop.
+func TestTopoAgainstSCC(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		g := New(n)
+		for e := 0; e < rng.Intn(2*n); e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		_, ok := g.Topo()
+		comp, _ := g.SCC()
+		sizes := map[int]int{}
+		for _, c := range comp {
+			sizes[c]++
+		}
+		cyclic := false
+		for _, sz := range sizes {
+			if sz > 1 {
+				cyclic = true
+			}
+		}
+		for u := 0; u < n; u++ {
+			if g.HasEdge(u, u) {
+				cyclic = true
+			}
+		}
+		return ok == !cyclic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

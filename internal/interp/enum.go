@@ -1,0 +1,244 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/sem"
+)
+
+// EnumerateSC exhaustively explores the sequentially consistent state space
+// of a program: from every reachable state, every runnable processor may
+// take the next atomic step. It returns the set of final-state outcome
+// keys (FormatSnapshot of memory plus the print log), or ok=false if the
+// exploration exceeded maxStates (the program is too large to enumerate).
+//
+// This is the sound oracle for the differential fuzz tests: a weak-memory
+// outcome is a true sequential-consistency violation if and only if it is
+// absent from this set. Random schedule sampling misses legal outcomes
+// that need many precisely placed context switches; enumeration does not.
+func EnumerateSC(fn *ir.Fn, procs, maxStates int) (outcomes map[string]bool, ok bool) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	init := newEnumState(fn, procs)
+	visited := map[string]bool{}
+	outcomes = map[string]bool{}
+	stack := []*scState{init}
+	visited[encodeState(init)] = true
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		done := true
+		progressed := false
+		for _, p := range st.procs {
+			if p.done {
+				continue
+			}
+			done = false
+			// Blocked processors are re-checked: stepping them may change
+			// their blocked flag only; treat no-change as no transition.
+			next := cloneState(st)
+			np := next.procs[p.id]
+			np.blocked = false // re-evaluate the blocking condition
+			if err := next.step(np); err != nil {
+				// Runtime errors terminate that path; they are not
+				// outcomes (the weak run would have failed too).
+				continue
+			}
+			key := encodeState(next)
+			if visited[key] {
+				progressed = true
+				continue
+			}
+			visited[key] = true
+			progressed = true
+			if len(visited) > maxStates {
+				return nil, false
+			}
+			stack = append(stack, next)
+		}
+		if done {
+			k := FormatSnapshot(st.mem.Snapshot())
+			for _, p := range st.procs {
+				for _, line := range p.prints {
+					k += "|" + line
+				}
+			}
+			outcomes[k] = true
+		} else if !progressed {
+			// Deadlock state: no outcome recorded.
+			continue
+		}
+	}
+	return outcomes, true
+}
+
+// newEnumState builds the initial scState without a scheduler RNG.
+func newEnumState(fn *ir.Fn, procs int) *scState {
+	st := &scState{
+		fn:    fn,
+		mem:   NewMemory(fn.Info, procs),
+		posts: make(map[*sem.Symbol][]bool),
+		locks: make(map[*sem.Symbol][]int),
+		bar:   map[int]bool{},
+		barID: -1,
+	}
+	for _, s := range fn.Info.Events {
+		st.posts[s] = make([]bool, s.Size)
+	}
+	for _, s := range fn.Info.Locks {
+		held := make([]int, s.Size)
+		for i := range held {
+			held[i] = -1
+		}
+		st.locks[s] = held
+	}
+	for p := 0; p < procs; p++ {
+		st.procs = append(st.procs, &scProc{id: p, blk: fn.Blocks[0], env: newEnv(fn)})
+	}
+	return st
+}
+
+// cloneState deep-copies an scState (memory, sync state, processors).
+func cloneState(st *scState) *scState {
+	out := &scState{
+		fn:    st.fn,
+		mem:   &Memory{data: map[*sem.Symbol][]ir.Value{}, procs: st.mem.procs},
+		posts: map[*sem.Symbol][]bool{},
+		locks: map[*sem.Symbol][]int{},
+		bar:   map[int]bool{},
+		barID: st.barID,
+	}
+	for sym, vals := range st.mem.data {
+		cp := make([]ir.Value, len(vals))
+		copy(cp, vals)
+		out.mem.data[sym] = cp
+	}
+	for sym, flags := range st.posts {
+		cp := make([]bool, len(flags))
+		copy(cp, flags)
+		out.posts[sym] = cp
+	}
+	for sym, held := range st.locks {
+		cp := make([]int, len(held))
+		copy(cp, held)
+		out.locks[sym] = cp
+	}
+	for p := range st.bar {
+		out.bar[p] = true
+	}
+	for _, p := range st.procs {
+		np := &scProc{
+			id:      p.id,
+			blk:     p.blk,
+			idx:     p.idx,
+			done:    p.done,
+			blocked: p.blocked,
+			env: &env{
+				scalars: append([]ir.Value(nil), p.env.scalars...),
+				arrays:  map[ir.LocalID][]ir.Value{},
+			},
+			prints: append([]string(nil), p.prints...),
+		}
+		for id, arr := range p.env.arrays {
+			np.env.arrays[id] = append([]ir.Value(nil), arr...)
+		}
+		out.procs = append(out.procs, np)
+	}
+	return out
+}
+
+// encodeState canonically serializes a state for the visited set.
+func encodeState(st *scState) string {
+	var sb strings.Builder
+	// Memory: deterministic symbol order by name.
+	names := make([]string, 0, len(st.mem.data))
+	bySym := map[string]*sem.Symbol{}
+	for sym := range st.mem.data {
+		names = append(names, sym.Name)
+		bySym[sym.Name] = sym
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sb.WriteString(n)
+		for _, v := range st.mem.data[bySym[n]] {
+			fmt.Fprintf(&sb, ",%s", v.String())
+		}
+		sb.WriteByte(';')
+	}
+	// Events and locks.
+	enames := make([]string, 0, len(st.posts))
+	byE := map[string]*sem.Symbol{}
+	for sym := range st.posts {
+		enames = append(enames, sym.Name)
+		byE[sym.Name] = sym
+	}
+	sort.Strings(enames)
+	for _, n := range enames {
+		sb.WriteString(n)
+		for _, f := range st.posts[byE[n]] {
+			if f {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte(';')
+	}
+	lnames := make([]string, 0, len(st.locks))
+	byL := map[string]*sem.Symbol{}
+	for sym := range st.locks {
+		lnames = append(lnames, sym.Name)
+		byL[sym.Name] = sym
+	}
+	sort.Strings(lnames)
+	for _, n := range lnames {
+		sb.WriteString(n)
+		for _, h := range st.locks[byL[n]] {
+			fmt.Fprintf(&sb, ",%d", h)
+		}
+		sb.WriteByte(';')
+	}
+	// Barrier episode.
+	fmt.Fprintf(&sb, "B%d:", st.barID)
+	bar := make([]int, 0, len(st.bar))
+	for p := range st.bar {
+		bar = append(bar, p)
+	}
+	sort.Ints(bar)
+	for _, p := range bar {
+		fmt.Fprintf(&sb, "%d,", p)
+	}
+	sb.WriteByte(';')
+	// Processors.
+	for _, p := range st.procs {
+		fmt.Fprintf(&sb, "p%d@%d.%d", p.id, p.blk.ID, p.idx)
+		if p.done {
+			sb.WriteByte('!')
+		}
+		for _, v := range p.env.scalars {
+			fmt.Fprintf(&sb, ",%s", v.String())
+		}
+		ids := make([]int, 0, len(p.env.arrays))
+		for id := range p.env.arrays {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&sb, "|%d", id)
+			for _, v := range p.env.arrays[ir.LocalID(id)] {
+				fmt.Fprintf(&sb, ",%s", v.String())
+			}
+		}
+		for _, line := range p.prints {
+			sb.WriteString("~")
+			sb.WriteString(line)
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

@@ -1,0 +1,263 @@
+// Package interp executes compiled MiniSplit programs.
+//
+// Two executors are provided:
+//
+//   - Run: a discrete-event *weak-memory* executor for split-phase target
+//     programs on a simulated distributed-memory machine (package machine).
+//     Shared-memory reads and writes take effect at their network arrival
+//     times, so in-flight operations genuinely reorder — exactly the
+//     behavior the delay set must tame. Per-processor cycle counts fall
+//     out of the same event clock, which is what the benchmark harness
+//     reports.
+//
+//   - RunSC: a blocking *sequentially consistent* reference executor over
+//     the mid-level IR, used as the oracle: every shared access happens
+//     atomically at a global interleaving point chosen by a (seedable)
+//     scheduler. Property tests check that weak-memory outcomes are
+//     explainable by some SC schedule.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// RuntimeError is an error raised by program execution.
+type RuntimeError struct {
+	Proc int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("proc %d: runtime error: %s", e.Proc, e.Msg)
+}
+
+// env holds one processor's local variables.
+type env struct {
+	scalars []ir.Value
+	arrays  map[ir.LocalID][]ir.Value
+}
+
+func newEnv(fn *ir.Fn) *env {
+	e := &env{
+		scalars: make([]ir.Value, len(fn.Locals)),
+		arrays:  make(map[ir.LocalID][]ir.Value),
+	}
+	for _, l := range fn.Locals {
+		if l.IsArr {
+			e.arrays[l.ID] = make([]ir.Value, l.Size)
+		}
+		// Zero values carry the declared type for clean printing.
+		if l.Type == source.TypeFloat && !l.IsArr {
+			e.scalars[l.ID] = ir.FloatVal(0)
+		} else if !l.IsArr {
+			e.scalars[l.ID] = ir.IntVal(0)
+		}
+	}
+	for id, arr := range e.arrays {
+		if fn.Locals[id].Type == source.TypeFloat {
+			for i := range arr {
+				arr[i] = ir.FloatVal(0)
+			}
+		} else {
+			for i := range arr {
+				arr[i] = ir.IntVal(0)
+			}
+		}
+	}
+	return e
+}
+
+// evalCtx supplies the processor identity for MYPROC/PROCS.
+type evalCtx struct {
+	proc  int
+	procs int
+}
+
+// eval evaluates a pure IR expression.
+func eval(e ir.Expr, en *env, ctx evalCtx) (ir.Value, error) {
+	switch e := e.(type) {
+	case *ir.Const:
+		return e.Val, nil
+	case *ir.LocalRef:
+		return en.scalars[e.ID], nil
+	case *ir.ElemRef:
+		idx, err := evalInt(e.Index, en, ctx)
+		if err != nil {
+			return ir.Value{}, err
+		}
+		arr := en.arrays[e.Arr]
+		if idx < 0 || idx >= int64(len(arr)) {
+			return ir.Value{}, fmt.Errorf("local array index %d out of range [0,%d)", idx, len(arr))
+		}
+		return arr[idx], nil
+	case *ir.MyProc:
+		return ir.IntVal(int64(ctx.proc)), nil
+	case *ir.Procs:
+		return ir.IntVal(int64(ctx.procs)), nil
+	case *ir.Bin:
+		l, err := eval(e.L, en, ctx)
+		if err != nil {
+			return ir.Value{}, err
+		}
+		r, err := eval(e.R, en, ctx)
+		if err != nil {
+			return ir.Value{}, err
+		}
+		v, ok := ir.EvalBin(e.Op, l, r)
+		if !ok {
+			return ir.Value{}, fmt.Errorf("division by zero")
+		}
+		return v, nil
+	case *ir.Un:
+		x, err := eval(e.X, en, ctx)
+		if err != nil {
+			return ir.Value{}, err
+		}
+		v, ok := ir.EvalUn(e.Op, x)
+		if !ok {
+			return ir.Value{}, fmt.Errorf("bad unary operation")
+		}
+		return v, nil
+	case *ir.BuiltinCall:
+		args := make([]ir.Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := eval(a, en, ctx)
+			if err != nil {
+				return ir.Value{}, err
+			}
+			args[i] = v
+		}
+		if e.Name == "fsqrt" && args[0].Float() < 0 {
+			return ir.Value{}, fmt.Errorf("fsqrt of negative value %g", args[0].Float())
+		}
+		v, ok := ir.EvalBuiltin(e.Name, args)
+		if !ok {
+			return ir.Value{}, fmt.Errorf("unknown builtin %s", e.Name)
+		}
+		return v, nil
+	default:
+		return ir.Value{}, fmt.Errorf("unhandled expression %T", e)
+	}
+}
+
+func evalInt(e ir.Expr, en *env, ctx evalCtx) (int64, error) {
+	v, err := eval(e, en, ctx)
+	if err != nil {
+		return 0, err
+	}
+	if v.T == source.TypeFloat {
+		return 0, fmt.Errorf("index is not an integer")
+	}
+	return v.I, nil
+}
+
+// Memory is the shared address space.
+type Memory struct {
+	data  map[*sem.Symbol][]ir.Value
+	procs int
+}
+
+// NewMemory allocates and initializes the shared space for a program.
+func NewMemory(info *sem.Info, procs int) *Memory {
+	m := &Memory{data: make(map[*sem.Symbol][]ir.Value), procs: procs}
+	for _, s := range info.Shared {
+		vals := make([]ir.Value, s.Size)
+		for i := range vals {
+			if s.Type == source.TypeFloat {
+				vals[i] = ir.FloatVal(s.Init.F)
+			} else {
+				vals[i] = ir.IntVal(s.Init.I)
+			}
+		}
+		m.data[s] = vals
+	}
+	return m
+}
+
+// CheckIndex validates an element index for a symbol.
+func (m *Memory) CheckIndex(sym *sem.Symbol, idx int64) error {
+	if idx < 0 || idx >= sym.Size {
+		return fmt.Errorf("index %d out of range for %s[%d]", idx, sym.Name, sym.Size)
+	}
+	return nil
+}
+
+// Read returns the value of sym[idx].
+func (m *Memory) Read(sym *sem.Symbol, idx int64) ir.Value { return m.data[sym][idx] }
+
+// Write stores v into sym[idx].
+func (m *Memory) Write(sym *sem.Symbol, idx int64, v ir.Value) { m.data[sym][idx] = v }
+
+// Owner returns the processor owning sym[idx]: the declared owner for
+// scalars, the block owner for blocked arrays, idx mod P for cyclic ones.
+func (m *Memory) Owner(sym *sem.Symbol, idx int64) int {
+	p := int64(m.procs)
+	switch {
+	case !sym.IsArr:
+		return int(sym.Owner % p)
+	case sym.Layout == source.LayoutCyclic:
+		return int(idx % p)
+	default:
+		block := (sym.Size + p - 1) / p
+		return int((idx / block) % p)
+	}
+}
+
+// Snapshot renders the final memory as a deterministic map for outcome
+// comparison: symbol name to values.
+func (m *Memory) Snapshot() map[string][]ir.Value {
+	out := make(map[string][]ir.Value, len(m.data))
+	for sym, vals := range m.data {
+		cp := make([]ir.Value, len(vals))
+		copy(cp, vals)
+		out[sym.Name] = cp
+	}
+	return out
+}
+
+// FormatSnapshot renders a snapshot canonically (sorted by name) so
+// outcome sets can be compared as strings.
+func FormatSnapshot(snap map[string][]ir.Value) string {
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	s := ""
+	for _, n := range names {
+		s += n + "=["
+		for i, v := range snap[n] {
+			if i > 0 {
+				s += " "
+			}
+			if v.T == source.TypeFloat {
+				s += formatFloat(v.F)
+			} else {
+				s += fmt.Sprintf("%d", v.I)
+			}
+		}
+		s += "] "
+	}
+	return s
+}
+
+func formatFloat(f float64) string {
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	return fmt.Sprintf("%.6g", f)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

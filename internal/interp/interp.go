@@ -1,0 +1,805 @@
+package interp
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/delay"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sem"
+	"repro/internal/target"
+)
+
+// RunOptions configures the weak-memory executor.
+type RunOptions struct {
+	// Jitter randomizes each message's wire latency by up to this fraction
+	// (adaptive-routing effects); zero is fully deterministic.
+	Jitter float64
+	// Seed seeds the jitter generator.
+	Seed int64
+	// Contention serializes message handling at each destination's network
+	// interface: messages to one owner are spaced at least RecvOv apart,
+	// so all-to-one traffic hot-spots cost extra. (Approximation: the
+	// queue is maintained in issue order.)
+	Contention bool
+	// VerifyDelays, when non-nil, makes the executor assert at every
+	// access initiation that all delay-predecessor gets and puts have
+	// completed — an independent runtime check that the generated code
+	// (sync placement, one-way conversion, motion) actually enforces the
+	// delay set. Store predecessors are excluded: their completion is
+	// tied to barriers, which the outcome tests cover.
+	VerifyDelays *delay.Set
+	// MaxEvents bounds the simulation (0 means 50 million).
+	MaxEvents int
+}
+
+// ProcStats counts one processor's activity.
+type ProcStats struct {
+	Cycles     float64 // completion time of this processor
+	Busy       float64 // cycles the CPU was doing work (not waiting)
+	Gets       int     // remote split-phase reads issued
+	Puts       int     // remote acknowledged writes issued
+	Stores     int     // remote one-way writes issued
+	LocalAcc   int     // shared accesses served by the local module
+	AcksRecv   int     // acknowledgements/replies processed
+	Barriers   int
+	LockOps    int
+	PostsWaits int
+}
+
+// Result is the outcome of a weak-memory run.
+type Result struct {
+	Time     float64 // makespan in cycles
+	Stats    []ProcStats
+	Memory   map[string][]ir.Value
+	Prints   []string // per-processor output, proc-major order
+	Messages int      // network messages (requests, replies, acks)
+}
+
+// TotalMessages sums per-message network traffic.
+func (r *Result) TotalMessages() int { return r.Messages }
+
+type event struct {
+	t   float64
+	seq int
+	run func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// pendingOp is one outstanding split-phase operation on a counter.
+type pendingOp struct {
+	t   float64 // completion time
+	ack bool    // a reply/ack arrives and costs RecvOv of handler time
+}
+
+type ctrState struct {
+	pending []pendingOp // outstanding operations since the last sync
+}
+
+// charge advances the processor's clock by CPU work (tracked as busy time,
+// in contrast to waiting, which only advances the clock).
+func (p *proc) charge(c float64) {
+	p.time += c
+	p.stats.Busy += c
+}
+
+type proc struct {
+	id       int
+	blk      *target.Block
+	idx      int
+	time     float64
+	env      *env
+	ctrs     []ctrState
+	waiting  bool // two-phase flag for blocking statements
+	wakeTime float64
+	// lastCompletion[acc] is the latest computed completion time among
+	// this processor's issues of get/put access acc (delay verification).
+	lastCompletion []float64
+	storeMax       float64 // latest arrival among stores issued so far
+	done           bool
+	stats          ProcStats
+	prints         []string
+}
+
+type eventObj struct {
+	posted  bool
+	arrival float64
+	waiters []*proc
+}
+
+type lockObj struct {
+	held  bool
+	queue []*proc
+	free  float64 // time the lock became free at the manager
+}
+
+type barrierState struct {
+	arrived map[int]float64
+	accID   int
+	release float64
+}
+
+type sim struct {
+	prog  *target.Prog
+	cfg   machine.Config
+	opts  RunOptions
+	rng   *rand.Rand
+	queue eventHeap
+	seq   int
+	mem   *Memory
+	evs   map[*sem.Symbol][]eventObj
+	lks   map[*sem.Symbol][]lockObj
+	procs []*proc
+	bar   barrierState
+	// delayPreds[b] lists delay predecessors of access b (verification).
+	delayPreds [][]int
+	// niBusy[p] is the time processor p's network interface finishes its
+	// last queued message (contention modeling).
+	niBusy []float64
+	msgs   int
+	last   float64
+	err    error
+	nEv    int
+}
+
+// Run executes the target program on the simulated machine.
+func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = 50_000_000
+	}
+	s := &sim{
+		prog: prog,
+		cfg:  cfg,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+		mem:  NewMemory(prog.Fn.Info, cfg.Procs),
+		evs:  make(map[*sem.Symbol][]eventObj),
+		lks:  make(map[*sem.Symbol][]lockObj),
+		bar:  barrierState{arrived: map[int]float64{}, accID: -1},
+	}
+	s.niBusy = make([]float64, cfg.Procs)
+	if opts.VerifyDelays != nil {
+		n := len(prog.Fn.Accesses)
+		s.delayPreds = make([][]int, n)
+		for _, pr := range opts.VerifyDelays.Pairs() {
+			s.delayPreds[pr.B] = append(s.delayPreds[pr.B], pr.A)
+		}
+	}
+	for _, sym := range prog.Fn.Info.Events {
+		s.evs[sym] = make([]eventObj, sym.Size)
+	}
+	for _, sym := range prog.Fn.Info.Locks {
+		s.lks[sym] = make([]lockObj, sym.Size)
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		pr := &proc{
+			id:   p,
+			blk:  prog.Blocks[0],
+			env:  newEnv(prog.Fn),
+			ctrs: make([]ctrState, prog.Counters),
+		}
+		if opts.VerifyDelays != nil {
+			pr.lastCompletion = make([]float64, len(prog.Fn.Accesses))
+			for i := range pr.lastCompletion {
+				pr.lastCompletion[i] = -1
+			}
+		}
+		s.procs = append(s.procs, pr)
+		s.schedule(0, func() { s.resume(pr) })
+	}
+	for len(s.queue) > 0 && s.err == nil {
+		s.nEv++
+		if s.nEv > opts.MaxEvents {
+			s.err = fmt.Errorf("simulation exceeded %d events (livelock?)", opts.MaxEvents)
+			break
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.t > s.last {
+			s.last = e.t
+		}
+		e.run()
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	for _, p := range s.procs {
+		if !p.done {
+			return nil, fmt.Errorf("deadlock: proc %d blocked at block %d stmt %d", p.id, p.blk.ID, p.idx)
+		}
+	}
+	res := &Result{
+		Time:     s.last,
+		Memory:   s.mem.Snapshot(),
+		Messages: s.msgs,
+	}
+	for _, p := range s.procs {
+		p.stats.Cycles = p.time
+		res.Stats = append(res.Stats, p.stats)
+		res.Prints = append(res.Prints, p.prints...)
+		if p.time > res.Time {
+			res.Time = p.time
+		}
+	}
+	return res, nil
+}
+
+func (s *sim) schedule(t float64, run func()) {
+	s.seq++
+	heap.Push(&s.queue, &event{t: t, seq: s.seq, run: run})
+}
+
+func (s *sim) fail(p *proc, format string, args ...any) {
+	if s.err == nil {
+		s.err = &RuntimeError{Proc: p.id, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+// wire returns one message's network latency, with optional jitter.
+func (s *sim) wire() float64 {
+	w := s.cfg.Wire
+	if s.opts.Jitter > 0 {
+		w *= 1 + s.opts.Jitter*s.rng.Float64()
+	}
+	return w
+}
+
+// deliver computes a message's service time at the destination's network
+// interface: the raw arrival, or later when contention queues it.
+func (s *sim) deliver(owner int, sent float64) float64 {
+	arrival := sent + s.wire()
+	if s.opts.Contention {
+		if arrival < s.niBusy[owner] {
+			arrival = s.niBusy[owner]
+		}
+		s.niBusy[owner] = arrival + s.cfg.RecvOv
+	}
+	return arrival + s.cfg.RecvOv
+}
+
+func (s *sim) ctx(p *proc) evalCtx { return evalCtx{proc: p.id, procs: s.cfg.Procs} }
+
+// accessLoc evaluates an access's element index and owner.
+func (s *sim) accessLoc(p *proc, acc *ir.Access) (idx int64, owner int, ok bool) {
+	if acc.Index != nil {
+		v, err := evalInt(acc.Index, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return 0, 0, false
+		}
+		idx = v
+	}
+	if err := s.mem.CheckIndex(acc.Sym, idx); err != nil {
+		s.fail(p, "%v", err)
+		return 0, 0, false
+	}
+	return idx, s.mem.Owner(acc.Sym, idx), true
+}
+
+// resume runs processor p until it blocks or finishes.
+func (s *sim) resume(p *proc) {
+	for s.err == nil && !p.done {
+		if p.idx >= len(p.blk.Stmts) {
+			if !s.terminate(p) {
+				return
+			}
+			continue
+		}
+		st := p.blk.Stmts[p.idx]
+		switch st := st.(type) {
+		case *target.Wrap:
+			if !s.wrapped(p, st.S) {
+				return
+			}
+		case *target.Get:
+			s.issueGet(p, st)
+			p.idx++
+		case *target.Put:
+			s.issuePut(p, st)
+			p.idx++
+		case *target.Store:
+			s.issueStore(p, st)
+			p.idx++
+		case *target.SyncCtr:
+			if !s.syncCtr(p, st) {
+				return
+			}
+		default:
+			s.fail(p, "unhandled target statement %T", st)
+			return
+		}
+	}
+}
+
+// terminate executes the block terminator; false means p yielded.
+func (s *sim) terminate(p *proc) bool {
+	switch t := p.blk.Term.(type) {
+	case *target.Jump:
+		p.blk, p.idx = t.To, 0
+		return true
+	case *target.Branch:
+		v, err := eval(t.Cond, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return false
+		}
+		p.charge(s.cfg.ALUCost)
+		if v.IsTrue() {
+			p.blk = t.Then
+		} else {
+			p.blk = t.Else
+		}
+		p.idx = 0
+		return true
+	case *target.Ret:
+		p.done = true
+		return true
+	default:
+		s.fail(p, "missing terminator in block %d", p.blk.ID)
+		return false
+	}
+}
+
+// wrapped executes a carried-over IR statement; false means p yielded.
+func (s *sim) wrapped(p *proc, st ir.Stmt) bool {
+	switch st := st.(type) {
+	case *ir.Assign:
+		v, err := eval(st.Src, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return false
+		}
+		p.env.scalars[st.Dst] = v
+		p.charge(s.cfg.ALUCost)
+		p.idx++
+		return true
+	case *ir.SetElem:
+		idx, err := evalInt(st.Index, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return false
+		}
+		arr := p.env.arrays[st.Arr]
+		if idx < 0 || idx >= int64(len(arr)) {
+			s.fail(p, "local array index %d out of range [0,%d)", idx, len(arr))
+			return false
+		}
+		v, err := eval(st.Src, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return false
+		}
+		arr[idx] = v
+		p.charge(s.cfg.ALUCost)
+		p.idx++
+		return true
+	case *ir.Print:
+		line := fmt.Sprintf("[p%d]", p.id)
+		for _, a := range st.Args {
+			if a.IsStr {
+				line += " " + a.Str
+			} else {
+				v, err := eval(a.E, p.env, s.ctx(p))
+				if err != nil {
+					s.fail(p, "%v", err)
+					return false
+				}
+				line += " " + v.String()
+			}
+		}
+		p.prints = append(p.prints, line)
+		p.charge(s.cfg.ALUCost)
+		p.idx++
+		return true
+	case *ir.SyncOp:
+		return s.syncOp(p, st.Acc)
+	default:
+		s.fail(p, "unhandled wrapped statement %T", st)
+		return false
+	}
+}
+
+func (s *sim) issueGet(p *proc, g *target.Get) {
+	s.verifyDelays(p, g.Acc)
+	idx, owner, ok := s.accessLoc(p, g.Acc)
+	if !ok {
+		return
+	}
+	sym := g.Acc.Sym
+	var arrival, completion float64
+	if owner == p.id {
+		p.charge(s.cfg.LocalCost)
+		p.stats.LocalAcc++
+		arrival, completion = p.time, p.time
+	} else {
+		p.charge(s.cfg.SendOv)
+		p.stats.Gets++
+		s.msgs += 2
+		arrival = s.deliver(owner, p.time)
+		completion = arrival + s.cfg.SendOv + s.wire()
+	}
+	st := &p.ctrs[g.Ctr]
+	st.pending = append(st.pending, pendingOp{t: completion, ack: owner != p.id})
+	s.recordCompletion(p, g.Acc.ID, completion)
+	// Both events are scheduled now so their sequence numbers precede any
+	// resume event a later sync_ctr schedules at the completion time: the
+	// value must land in the local before the processor proceeds.
+	dst := g.Dst
+	var sampled ir.Value
+	s.schedule(arrival, func() { sampled = s.mem.Read(sym, idx) })
+	s.schedule(completion, func() { p.env.scalars[dst] = sampled })
+}
+
+func (s *sim) issuePut(p *proc, pt *target.Put) {
+	s.verifyDelays(p, pt.Acc)
+	idx, owner, ok := s.accessLoc(p, pt.Acc)
+	if !ok {
+		return
+	}
+	v, err := eval(pt.Src, p.env, s.ctx(p))
+	if err != nil {
+		s.fail(p, "%v", err)
+		return
+	}
+	sym := pt.Acc.Sym
+	var arrival, completion float64
+	if owner == p.id {
+		p.charge(s.cfg.LocalCost)
+		p.stats.LocalAcc++
+		arrival, completion = p.time, p.time
+	} else {
+		p.charge(s.cfg.SendOv)
+		p.stats.Puts++
+		s.msgs += 2
+		arrival = s.deliver(owner, p.time)
+		completion = arrival + s.cfg.SendOv + s.wire()
+	}
+	st := &p.ctrs[pt.Ctr]
+	st.pending = append(st.pending, pendingOp{t: completion, ack: owner != p.id})
+	s.recordCompletion(p, pt.Acc.ID, completion)
+	s.schedule(arrival, func() { s.mem.Write(sym, idx, v) })
+}
+
+func (s *sim) issueStore(p *proc, st *target.Store) {
+	s.verifyDelays(p, st.Acc)
+	idx, owner, ok := s.accessLoc(p, st.Acc)
+	if !ok {
+		return
+	}
+	v, err := eval(st.Src, p.env, s.ctx(p))
+	if err != nil {
+		s.fail(p, "%v", err)
+		return
+	}
+	sym := st.Acc.Sym
+	var arrival float64
+	if owner == p.id {
+		p.charge(s.cfg.LocalCost)
+		p.stats.LocalAcc++
+		arrival = p.time
+	} else {
+		p.charge(s.cfg.SendOv)
+		p.stats.Stores++
+		s.msgs++
+		arrival = s.deliver(owner, p.time)
+	}
+	if arrival > p.storeMax {
+		p.storeMax = arrival
+	}
+	s.schedule(arrival, func() { s.mem.Write(sym, idx, v) })
+}
+
+// syncCtr executes a sync_ctr; false means p yielded to the event loop.
+// The two-phase structure guarantees that all reply events at or before
+// the wake time are applied before execution proceeds.
+//
+// The cost model processes replies in arrival order: the handler cost of
+// one ack overlaps the wait for later completions, so waiting for several
+// outstanding operations on one counter costs the same as draining them
+// through separate counters.
+func (s *sim) syncCtr(p *proc, sc *target.SyncCtr) bool {
+	st := &p.ctrs[sc.Ctr]
+	if !p.waiting {
+		p.waiting = true
+		wake := p.time
+		for _, op := range st.pending {
+			if op.t > wake {
+				wake = op.t
+			}
+		}
+		s.schedule(wake, func() { s.resume(p) })
+		return false
+	}
+	p.waiting = false
+	sort.Slice(st.pending, func(i, j int) bool { return st.pending[i].t < st.pending[j].t })
+	for _, op := range st.pending {
+		if op.t > p.time {
+			p.time = op.t
+		}
+		if op.ack {
+			p.charge(s.cfg.RecvOv)
+			p.stats.AcksRecv++
+		}
+	}
+	st.pending = st.pending[:0]
+	p.idx++
+	return true
+}
+
+// syncOp executes post/wait/lock/unlock/barrier; false means p yielded.
+func (s *sim) syncOp(p *proc, acc *ir.Access) bool {
+	if !p.waiting {
+		s.verifyDelays(p, acc)
+	}
+	switch acc.Kind {
+	case ir.AccBarrier:
+		return s.barrier(p, acc)
+	case ir.AccPost:
+		return s.post(p, acc)
+	case ir.AccWait:
+		return s.waitEv(p, acc)
+	case ir.AccLock:
+		return s.lock(p, acc)
+	case ir.AccUnlock:
+		return s.unlock(p, acc)
+	default:
+		s.fail(p, "unhandled sync op %s", acc.Kind)
+		return false
+	}
+}
+
+func (s *sim) eventAt(p *proc, acc *ir.Access) (*eventObj, bool) {
+	idx := int64(0)
+	if acc.Index != nil {
+		v, err := evalInt(acc.Index, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return nil, false
+		}
+		idx = v
+	}
+	arr := s.evs[acc.Sym]
+	if idx < 0 || idx >= int64(len(arr)) {
+		s.fail(p, "event index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
+		return nil, false
+	}
+	return &arr[idx], true
+}
+
+func (s *sim) lockAt(p *proc, acc *ir.Access) (*lockObj, bool) {
+	idx := int64(0)
+	if acc.Index != nil {
+		v, err := evalInt(acc.Index, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return nil, false
+		}
+		idx = v
+	}
+	arr := s.lks[acc.Sym]
+	if idx < 0 || idx >= int64(len(arr)) {
+		s.fail(p, "lock index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
+		return nil, false
+	}
+	return &arr[idx], true
+}
+
+func (s *sim) post(p *proc, acc *ir.Access) bool {
+	ev, ok := s.eventAt(p, acc)
+	if !ok {
+		return false
+	}
+	p.charge(s.cfg.SendOv)
+	p.stats.PostsWaits++
+	s.msgs++
+	arrival := p.time + s.wire() + s.cfg.RecvOv
+	s.schedule(arrival, func() {
+		if ev.posted {
+			s.fail(p, "event %s posted twice (MiniSplit events are single-post)", acc.Sym.Name)
+			return
+		}
+		ev.posted = true
+		ev.arrival = arrival
+		for _, w := range ev.waiters {
+			waiter := w
+			s.msgs++
+			s.schedule(arrival+s.wire(), func() { s.resume(waiter) })
+		}
+		ev.waiters = nil
+	})
+	p.idx++
+	return true
+}
+
+func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
+	ev, ok := s.eventAt(p, acc)
+	if !ok {
+		return false
+	}
+	if !p.waiting {
+		p.waiting = true
+		p.stats.PostsWaits++
+		if ev.posted {
+			wake := p.time
+			if t := ev.arrival + s.wire(); t > wake {
+				wake = t
+			}
+			s.schedule(wake, func() { s.resume(p) })
+		} else {
+			ev.waiters = append(ev.waiters, p)
+		}
+		return false
+	}
+	p.waiting = false
+	if !ev.posted {
+		s.fail(p, "woken from wait on unposted event %s", acc.Sym.Name)
+		return false
+	}
+	if t := ev.arrival + s.wire(); t > p.time {
+		p.time = t
+	}
+	p.charge(s.cfg.RecvOv)
+	p.idx++
+	return true
+}
+
+func (s *sim) lock(p *proc, acc *ir.Access) bool {
+	lk, ok := s.lockAt(p, acc)
+	if !ok {
+		return false
+	}
+	if !p.waiting {
+		p.waiting = true
+		p.stats.LockOps++
+		p.charge(s.cfg.SendOv)
+		s.msgs++
+		reqArrival := p.time + s.wire() + s.cfg.RecvOv
+		s.schedule(reqArrival, func() {
+			if !lk.held {
+				lk.held = true
+				grant := reqArrival
+				if lk.free > grant {
+					grant = lk.free
+				}
+				s.msgs++
+				p.wakeTime = grant + s.wire()
+				s.schedule(p.wakeTime, func() { s.resume(p) })
+			} else {
+				lk.queue = append(lk.queue, p)
+			}
+		})
+		return false
+	}
+	p.waiting = false
+	if p.wakeTime > p.time {
+		p.time = p.wakeTime
+	}
+	p.charge(s.cfg.RecvOv)
+	p.idx++
+	return true
+}
+
+func (s *sim) unlock(p *proc, acc *ir.Access) bool {
+	lk, ok := s.lockAt(p, acc)
+	if !ok {
+		return false
+	}
+	p.charge(s.cfg.SendOv)
+	p.stats.LockOps++
+	s.msgs++
+	relArrival := p.time + s.wire() + s.cfg.RecvOv
+	s.schedule(relArrival, func() {
+		if !lk.held {
+			s.fail(p, "unlock of a lock that is not held")
+			return
+		}
+		if len(lk.queue) > 0 {
+			next := lk.queue[0]
+			lk.queue = lk.queue[1:]
+			s.msgs++
+			next.wakeTime = relArrival + s.wire()
+			s.schedule(next.wakeTime, func() { s.resume(next) })
+		} else {
+			lk.held = false
+			lk.free = relArrival
+		}
+	})
+	p.idx++
+	return true
+}
+
+func (s *sim) barrier(p *proc, acc *ir.Access) bool {
+	if !p.waiting {
+		p.waiting = true
+		p.stats.Barriers++
+		arrive := p.time + s.cfg.SendOv
+		if s.bar.accID == -1 {
+			s.bar.accID = acc.ID
+		} else if s.bar.accID != acc.ID {
+			// The runtime alignment check of section 5.2: processors must
+			// reach the same barrier statement.
+			s.fail(p, "barrier misalignment: a%d vs a%d", acc.ID, s.bar.accID)
+			return false
+		}
+		if _, dup := s.bar.arrived[p.id]; dup {
+			s.fail(p, "proc re-entered an open barrier episode")
+			return false
+		}
+		// A barrier drains this processor's outstanding one-way stores.
+		if p.storeMax > arrive {
+			arrive = p.storeMax
+		}
+		s.bar.arrived[p.id] = arrive
+		if len(s.bar.arrived) == s.cfg.Procs {
+			release := 0.0
+			for _, t := range s.bar.arrived {
+				if t > release {
+					release = t
+				}
+			}
+			release += s.cfg.BarrierCost
+			s.bar.release = release
+			procsCopy := make([]*proc, 0, s.cfg.Procs)
+			procsCopy = append(procsCopy, s.procs...)
+			s.bar.arrived = map[int]float64{}
+			s.bar.accID = -1
+			for _, w := range procsCopy {
+				waiter := w
+				waiter.wakeTime = release
+				s.schedule(release, func() { s.resume(waiter) })
+			}
+		}
+		return false
+	}
+	p.waiting = false
+	if p.wakeTime > p.time {
+		p.time = p.wakeTime
+	}
+	p.charge(s.cfg.RecvOv)
+	p.idx++
+	return true
+}
+
+// recordCompletion notes an access's computed completion time for the
+// delay verifier.
+func (s *sim) recordCompletion(p *proc, accID int, completion float64) {
+	if p.lastCompletion == nil {
+		return
+	}
+	if completion > p.lastCompletion[accID] {
+		p.lastCompletion[accID] = completion
+	}
+}
+
+// verifyDelays asserts that every delay-predecessor get/put of access b
+// has completed before b initiates on this processor.
+func (s *sim) verifyDelays(p *proc, b *ir.Access) {
+	if s.delayPreds == nil || b.ID >= len(s.delayPreds) {
+		return
+	}
+	const eps = 1e-6
+	for _, a := range s.delayPreds[b.ID] {
+		if p.lastCompletion[a] > p.time+eps {
+			s.fail(p, "delay violation: %s initiated at %.2f before %s completed at %.2f",
+				b, p.time, s.prog.Fn.Accesses[a], p.lastCompletion[a])
+			return
+		}
+	}
+}

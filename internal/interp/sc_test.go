@@ -1,0 +1,292 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/syncanal"
+)
+
+func runSC(t *testing.T, fn *ir.Fn, procs int, seed int64) *SCResult {
+	t.Helper()
+	res, err := RunSC(fn, SCOptions{Procs: procs, Seed: seed})
+	if err != nil {
+		t.Fatalf("RunSC: %v", err)
+	}
+	return res
+}
+
+func TestSCBasic(t *testing.T) {
+	fn := ir.MustBuild(`
+shared int A[4];
+func main() {
+    A[MYPROC] = MYPROC * 3;
+}
+`, ir.BuildOptions{Procs: 4})
+	res := runSC(t, fn, 4, 1)
+	for i := 0; i < 4; i++ {
+		if res.Memory["A"][i].I != int64(i*3) {
+			t.Errorf("A[%d] = %v", i, res.Memory["A"][i])
+		}
+	}
+}
+
+func TestSCBarrier(t *testing.T) {
+	fn := ir.MustBuild(`
+shared int A[4];
+shared int B[4];
+func main() {
+    A[MYPROC] = MYPROC + 1;
+    barrier;
+    B[MYPROC] = A[(MYPROC + 1) % PROCS];
+}
+`, ir.BuildOptions{Procs: 4})
+	for seed := int64(0); seed < 20; seed++ {
+		res := runSC(t, fn, 4, seed)
+		for i := 0; i < 4; i++ {
+			want := int64((i+1)%4 + 1)
+			if res.Memory["B"][i].I != want {
+				t.Errorf("seed %d: B[%d] = %v, want %d", seed, i, res.Memory["B"][i], want)
+			}
+		}
+	}
+}
+
+func TestSCPostWaitLock(t *testing.T) {
+	fn := ir.MustBuild(`
+shared int X;
+shared int Total;
+event e;
+lock m;
+func main() {
+    if (MYPROC == 0) {
+        X = 9;
+        post(e);
+    } else {
+        wait(e);
+        local int v = X;
+        print("v", v);
+    }
+    lock(m);
+    Total = Total + 1;
+    unlock(m);
+}
+`, ir.BuildOptions{Procs: 4})
+	for seed := int64(0); seed < 20; seed++ {
+		res := runSC(t, fn, 4, seed)
+		if res.Memory["Total"][0].I != 4 {
+			t.Fatalf("seed %d: Total = %v", seed, res.Memory["Total"][0])
+		}
+		for _, p := range res.Prints {
+			if p != "" && p[len(p)-1] != '9' {
+				t.Fatalf("seed %d: consumer saw stale X: %q", seed, p)
+			}
+		}
+	}
+}
+
+func TestSCDeadlock(t *testing.T) {
+	fn := ir.MustBuild(`
+event e;
+func main() {
+    wait(e);
+}
+`, ir.BuildOptions{Procs: 2})
+	if _, err := RunSC(fn, SCOptions{Procs: 2, Seed: 1}); err == nil {
+		t.Fatal("expected deadlock")
+	}
+}
+
+func TestSCDoublePost(t *testing.T) {
+	fn := ir.MustBuild(`
+event e;
+func main() {
+    post(e);
+}
+`, ir.BuildOptions{Procs: 2})
+	if _, err := RunSC(fn, SCOptions{Procs: 2, Seed: 1}); err == nil {
+		t.Fatal("expected double-post error")
+	}
+}
+
+func TestSCUnlockNotHeld(t *testing.T) {
+	fn := ir.MustBuild(`
+lock m;
+func main() {
+    if (MYPROC == 0) {
+        unlock(m);
+    }
+}
+`, ir.BuildOptions{Procs: 2})
+	if _, err := RunSC(fn, SCOptions{Procs: 2, Seed: 1}); err == nil {
+		t.Fatal("expected unlock-not-held error")
+	}
+}
+
+// scOutcomes collects the set of SC outcomes over many schedules.
+func scOutcomes(t *testing.T, fn *ir.Fn, procs int, runs int) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for seed := int64(0); seed < int64(runs); seed++ {
+		res, err := RunSC(fn, SCOptions{Procs: procs, Seed: seed})
+		if err != nil {
+			t.Fatalf("sc seed %d: %v", seed, err)
+		}
+		key := FormatSnapshot(res.Memory)
+		for _, p := range res.Prints {
+			key += "|" + p
+		}
+		out[key] = true
+	}
+	return out
+}
+
+// TestWeakOutcomesAreSC is the paper's system contract, tested end to end:
+// for racy programs compiled with the refined delay set, every weak-memory
+// outcome (over jittered schedules) must be an outcome some SC
+// interleaving produces.
+func TestWeakOutcomesAreSC(t *testing.T) {
+	srcs := []string{
+		// flag/data with polling (Figure 1)
+		`
+shared int Data on 1 = 0;
+shared int Flag on 1 = 0;
+func main() {
+    local int v = 0;
+    if (MYPROC == 0) {
+        Data = 1;
+        Flag = 1;
+    } else {
+        while (v == 0) {
+            v = Flag;
+        }
+        v = Data;
+        print("data", v);
+    }
+}
+`,
+		// Dekker-style race: the final values are racy but SC-constrained.
+		`
+shared int X on 0;
+shared int Y on 1;
+shared int RX[2];
+shared int RY[2];
+func main() {
+    if (MYPROC == 0) {
+        X = 1;
+        RY[0] = Y;
+    } else {
+        Y = 1;
+        RX[1] = X;
+    }
+}
+`,
+		// Unordered concurrent writes: any interleaving of final values.
+		`
+shared int A[2];
+func main() {
+    A[0] = MYPROC + 1;
+    A[1] = 2 * MYPROC + 1;
+}
+`,
+		// post/wait pipeline
+		`
+shared int X;
+shared int Y;
+event e;
+func main() {
+    if (MYPROC == 0) {
+        X = 10;
+        Y = 20;
+        post(e);
+    } else {
+        wait(e);
+        local int a = Y;
+        local int b = X;
+        print("sum", a + b);
+    }
+}
+`,
+	}
+	for ci, src := range srcs {
+		fn := ir.MustBuild(src, ir.BuildOptions{Procs: 2})
+		res := syncanal.Analyze(fn, syncanal.Options{})
+		prog := codegen.Generate(fn, codegen.Options{Delays: res.D, Pipeline: true, OneWay: true}).Prog
+		// The exact model checker gives the complete SC outcome set.
+		sc, exactOK := EnumerateSC(fn, 2, 0)
+		if !exactOK {
+			sc = scOutcomes(t, fn, 2, 400)
+		}
+		for seed := int64(0); seed < 100; seed++ {
+			r, err := Run(prog, machine.CM5(2), RunOptions{Jitter: 6.0, Seed: seed})
+			if err != nil {
+				t.Fatalf("case %d seed %d: %v", ci, seed, err)
+			}
+			key := FormatSnapshot(r.Memory)
+			for _, p := range r.Prints {
+				key += "|" + p
+			}
+			if !sc[key] {
+				t.Errorf("case %d seed %d: weak outcome not SC-explainable:\n%s\nSC set size %d",
+					ci, seed, key, len(sc))
+				break
+			}
+		}
+	}
+}
+
+// TestWeakMatchesSCDeterministic checks deterministic programs produce the
+// unique SC answer at every optimization level.
+func TestWeakMatchesSCDeterministic(t *testing.T) {
+	src := `
+shared float G[32];
+shared float Gn[32];
+shared float Res on 0;
+event done[8];
+lock m;
+func main() {
+    local int nl = 32 / PROCS;
+    local int base = MYPROC * nl;
+    for (local int i = 0; i < 32 / PROCS; i = i + 1) {
+        G[base + i] = itof(base + i);
+    }
+    barrier;
+    for (local int i = 0; i < 32 / PROCS; i = i + 1) {
+        local int g = base + i;
+        Gn[g] = G[(g + 31) % 32] + G[(g + 1) % 32];
+    }
+    barrier;
+    local float acc = 0.0;
+    for (local int i = 0; i < 32 / PROCS; i = i + 1) {
+        acc = acc + Gn[base + i];
+    }
+    lock(m);
+    Res = Res + acc;
+    unlock(m);
+}
+`
+	fn := ir.MustBuild(src, ir.BuildOptions{Procs: 4})
+	scRes := runSC(t, fn, 4, 7)
+	want := FormatSnapshot(scRes.Memory)
+	res := syncanal.Analyze(fn, syncanal.Options{})
+	variants := []codegen.Options{
+		{Delays: res.Baseline, Pipeline: false},
+		{Delays: res.D, Pipeline: true},
+		{Delays: res.D, Pipeline: true, OneWay: true},
+		{Delays: res.D, Pipeline: true, OneWay: true, CSE: true},
+	}
+	for vi, opts := range variants {
+		prog := codegen.Generate(fn, opts).Prog
+		for seed := int64(0); seed < 5; seed++ {
+			r, err := Run(prog, machine.CM5(4), RunOptions{Jitter: 3.0, Seed: seed})
+			if err != nil {
+				t.Fatalf("variant %d: %v", vi, err)
+			}
+			if got := FormatSnapshot(r.Memory); got != want {
+				t.Errorf("variant %d seed %d:\n got %s\nwant %s", vi, seed, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package ir
+
+import "repro/internal/graph"
+
+// AccessGraph is the per-processor program-order graph over shared accesses:
+// node i is Fn.Accesses[i], and an edge a -> b means b can be the next
+// shared access executed after a on the same processor. Its transitive
+// closure is the program order P restricted to accesses, which is what the
+// cycle-detection analyses traverse.
+type AccessGraph struct {
+	Fn    *Fn
+	G     *graph.Digraph
+	reach [][]bool // reach[a][b]: path of length >= 1 from a to b
+}
+
+// BuildAccessGraph computes the access-successor graph of fn.
+func BuildAccessGraph(fn *Fn) *AccessGraph {
+	n := len(fn.Accesses)
+	g := graph.New(n)
+
+	// first[b] = accesses reachable from the start of block b without
+	// crossing another access (i.e. the first accesses "seen" on entry).
+	// Cycle truncation must propagate: a result computed while some
+	// ancestor was on the DFS stack may under-approximate and must not be
+	// memoized (a poisoned cache would silently drop program-order edges).
+	memo := make(map[int][]int)
+	var first func(b *Block, visiting map[int]bool) (res []int, complete bool)
+	first = func(b *Block, visiting map[int]bool) ([]int, bool) {
+		if got, ok := memo[b.ID]; ok {
+			return got, true
+		}
+		if visiting[b.ID] {
+			return nil, false
+		}
+		visiting[b.ID] = true
+		defer delete(visiting, b.ID)
+		for _, s := range b.Stmts {
+			if a := AccessOf(s); a != nil {
+				res := []int{a.ID}
+				memo[b.ID] = res
+				return res, true
+			}
+		}
+		var res []int
+		seen := map[int]bool{}
+		complete := true
+		for _, s := range b.Succs() {
+			sub, ok := first(s, visiting)
+			if !ok {
+				complete = false
+			}
+			for _, id := range sub {
+				if !seen[id] {
+					seen[id] = true
+					res = append(res, id)
+				}
+			}
+		}
+		if complete {
+			memo[b.ID] = res
+		}
+		return res, complete
+	}
+
+	// firstOf computes the access-free-entry set of a block, re-running
+	// the DFS when a previous truncated traversal prevented memoization.
+	firstOf := func(b *Block) []int {
+		res, _ := first(b, map[int]bool{})
+		return res
+	}
+
+	for _, b := range fn.Blocks {
+		var prev *Access
+		for _, s := range b.Stmts {
+			a := AccessOf(s)
+			if a == nil {
+				continue
+			}
+			if prev != nil {
+				g.AddEdge(prev.ID, a.ID)
+			}
+			prev = a
+		}
+		if prev != nil {
+			for _, s := range b.Succs() {
+				for _, id := range firstOf(s) {
+					g.AddEdge(prev.ID, id)
+				}
+			}
+		}
+	}
+	ag := &AccessGraph{Fn: fn, G: g}
+	ag.reach = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		// Paths of length >= 1: start from successors.
+		seen := make([]bool, n)
+		var stack []int
+		for _, v := range g.Adj[i] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		ag.reach[i] = seen
+	}
+	return ag
+}
+
+// Reaches reports whether access b can execute after access a on the same
+// processor in some execution (a path of length >= 1 in program order).
+func (ag *AccessGraph) Reaches(a, b int) bool { return ag.reach[a][b] }
+
+// OrderedPairs returns all pairs (a, b) with a ≺ b in program order
+// (b reachable from a by a path of length >= 1). In loops both (a, b) and
+// (b, a) may appear, and (a, a) appears when a can re-execute.
+func (ag *AccessGraph) OrderedPairs() [][2]int {
+	var out [][2]int
+	for a := range ag.reach {
+		for b, ok := range ag.reach[a] {
+			if ok {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package ir
+
+// Affine index analysis.
+//
+// Distributed-array subscripts in SPMD programs overwhelmingly follow the
+// owner-computes idiom: a processor touches A[MYPROC*B + i] (blocked) or
+// A[MYPROC + i*PROCS] (cyclic). Recognizing these shapes lets the conflict
+// analysis prove that two *different* processors can never touch the same
+// element through such subscripts, removing the self-conflict edges that
+// would otherwise serialize every loop (section 4's conservative conflict
+// set C "contains all pairs ... that could access the same variable").
+//
+// An affine summary of an index expression is
+//
+//	M*MYPROC + C + sum(Coeff_i * local_i)
+//
+// where each local_i may carry a known value range (from counted-loop
+// bounds). The residual interval is the interval of the non-MYPROC part.
+
+import "repro/internal/source"
+
+// AffineTerm is one Coeff*local term.
+type AffineTerm struct {
+	Local LocalID
+	Coeff int64
+}
+
+// Affine is an affine summary of an integer expression.
+type Affine struct {
+	M     int64 // coefficient of MYPROC
+	C     int64 // constant
+	Terms []AffineTerm
+	OK    bool // whether the expression was affine at all
+}
+
+// AffineOf computes the affine summary of e, or OK=false.
+func AffineOf(e Expr) Affine {
+	switch e := e.(type) {
+	case nil:
+		// Scalar access: index 0 of a 1-element "array".
+		return Affine{OK: true}
+	case *Const:
+		if e.Val.T == source.TypeInt {
+			return Affine{C: e.Val.I, OK: true}
+		}
+		return Affine{}
+	case *MyProc:
+		return Affine{M: 1, OK: true}
+	case *LocalRef:
+		return Affine{Terms: []AffineTerm{{Local: e.ID, Coeff: 1}}, OK: true}
+	case *Bin:
+		l := AffineOf(e.L)
+		r := AffineOf(e.R)
+		switch e.Op {
+		case source.OpAdd:
+			if l.OK && r.OK {
+				return addAffine(l, r, 1)
+			}
+		case source.OpSub:
+			if l.OK && r.OK {
+				return addAffine(l, r, -1)
+			}
+		case source.OpMul:
+			if l.OK && r.OK {
+				if lc, ok := constAffine(l); ok {
+					return scaleAffine(r, lc)
+				}
+				if rc, ok := constAffine(r); ok {
+					return scaleAffine(l, rc)
+				}
+			}
+		}
+		return Affine{}
+	default:
+		return Affine{}
+	}
+}
+
+func constAffine(a Affine) (int64, bool) {
+	if a.OK && a.M == 0 && len(a.Terms) == 0 {
+		return a.C, true
+	}
+	return 0, false
+}
+
+func addAffine(l, r Affine, sign int64) Affine {
+	out := Affine{M: l.M + sign*r.M, C: l.C + sign*r.C, OK: true}
+	out.Terms = append(out.Terms, l.Terms...)
+	for _, t := range r.Terms {
+		out.Terms = append(out.Terms, AffineTerm{Local: t.Local, Coeff: sign * t.Coeff})
+	}
+	return mergeTerms(out)
+}
+
+func scaleAffine(a Affine, k int64) Affine {
+	out := Affine{M: a.M * k, C: a.C * k, OK: true}
+	for _, t := range a.Terms {
+		out.Terms = append(out.Terms, AffineTerm{Local: t.Local, Coeff: t.Coeff * k})
+	}
+	return mergeTerms(out)
+}
+
+func mergeTerms(a Affine) Affine {
+	merged := a.Terms[:0:0]
+	for _, t := range a.Terms {
+		found := false
+		for i := range merged {
+			if merged[i].Local == t.Local {
+				merged[i].Coeff += t.Coeff
+				found = true
+				break
+			}
+		}
+		if !found {
+			merged = append(merged, t)
+		}
+	}
+	out := Affine{M: a.M, C: a.C, OK: a.OK}
+	for _, t := range merged {
+		if t.Coeff != 0 {
+			out.Terms = append(out.Terms, t)
+		}
+	}
+	return out
+}
+
+// ResidualInterval returns the inclusive interval [lo, hi] of the
+// expression's value minus M*MYPROC, using the function's known loop
+// ranges. ok=false if some term's local has no known range.
+func (a Affine) ResidualInterval(fn *Fn) (lo, hi int64, ok bool) {
+	if !a.OK {
+		return 0, 0, false
+	}
+	lo, hi = a.C, a.C
+	for _, t := range a.Terms {
+		r, has := fn.Ranges[t.Local]
+		if !has || r.Hi <= r.Lo {
+			return 0, 0, false
+		}
+		// r is [Lo, Hi): inclusive max is Hi-1.
+		a1 := t.Coeff * r.Lo
+		a2 := t.Coeff * (r.Hi - 1)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		lo += a1
+		hi += a2
+	}
+	return lo, hi, true
+}
+
+// TermsDivisibleBy reports whether every variable term's coefficient is a
+// multiple of k (used by the cyclic-layout distinctness test).
+func (a Affine) TermsDivisibleBy(k int64) bool {
+	if k == 0 {
+		return false
+	}
+	for _, t := range a.Terms {
+		if t.Coeff%k != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DistinctAcrossProcs reports whether two subscripts of the same array,
+// evaluated on two different processors p != q, can be proven never to
+// address the same element.
+//
+// Test A (blocked owner-computes): both subscripts have the same nonzero
+// MYPROC coefficient M and residuals provably within [0, M).
+//
+// Test B (cyclic owner-computes, machine size P known): both subscripts
+// are congruent to MYPROC + c (mod P) with the same c, and every variable
+// term's coefficient is divisible by P. Then index mod P identifies the
+// processor, so p != q implies distinct elements.
+func DistinctAcrossProcs(fn *Fn, ia, ib Expr) bool {
+	a := AffineOf(ia)
+	b := AffineOf(ib)
+	if !a.OK || !b.OK {
+		return false
+	}
+	// Test A. With index = M*MYPROC + r and r confined to one window
+	// [k*M, (k+1)*M), the index determines MYPROC+k; two subscripts with
+	// the same window k can only collide on the same processor.
+	if a.M == b.M && a.M > 0 {
+		alo, ahi, ok1 := a.ResidualInterval(fn)
+		blo, bhi, ok2 := b.ResidualInterval(fn)
+		if ok1 && ok2 {
+			ka, okA := windowOf(alo, ahi, a.M)
+			kb, okB := windowOf(blo, bhi, b.M)
+			if okA && okB && ka == kb {
+				return true
+			}
+		}
+	}
+	// Test B.
+	if p := int64(fn.Procs); p > 1 {
+		if mod(a.M-b.M, p) == 0 && gcd(a.M, p) == 1 &&
+			a.TermsDivisibleBy(p) && b.TermsDivisibleBy(p) &&
+			mod(a.C-b.C, p) == 0 {
+			// index ≡ M*proc + C (mod P) with M invertible mod P, so the
+			// index determines the processor.
+			return true
+		}
+		// Test C (transpose idiom): index = big + M*MYPROC + r, with every
+		// "big" term divisible by m = M*P and 0 <= r < M. Then
+		// index mod m = M*proc + r identifies the processor.
+		if a.M == b.M && a.M > 0 {
+			m := a.M * p
+			if residualInWindow(fn, a, m) && residualInWindow(fn, b, m) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// residualInWindow checks the test-C side conditions for one subscript:
+// all terms not divisible by m, plus the constant, form a residual proven
+// inside [0, a.M).
+func residualInWindow(fn *Fn, a Affine, m int64) bool {
+	lo, hi := a.C, a.C
+	for _, t := range a.Terms {
+		if t.Coeff%m == 0 {
+			continue
+		}
+		r, has := fn.Ranges[t.Local]
+		if !has || r.Hi <= r.Lo {
+			return false
+		}
+		a1 := t.Coeff * r.Lo
+		a2 := t.Coeff * (r.Hi - 1)
+		if a1 > a2 {
+			a1, a2 = a2, a1
+		}
+		lo += a1
+		hi += a2
+	}
+	return lo >= 0 && hi < a.M
+}
+
+// MayAliasSameProc reports whether two accesses to the same array, executed
+// by the *same* processor, may address the same element. This is the local
+// (per-processor) memory-dependence question the code generator must answer:
+// two outstanding split-phase operations to the same address must not be
+// reordered even when the cross-processor delay set says nothing.
+//
+// For the same statement (a == b) the question is whether two *different
+// iterations* can collide; an affine index that moves with a counted-loop
+// induction variable (nonzero coefficient) makes iterations distinct.
+func MayAliasSameProc(fn *Fn, ia, ib Expr, sameStmt bool) bool {
+	a := AffineOf(ia)
+	b := AffineOf(ib)
+	if !a.OK || !b.OK {
+		return true
+	}
+	if sameStmt {
+		// Distinct iterations change the induction variables; the index is
+		// iteration-distinct if some ranged var appears with nonzero coeff.
+		for _, t := range a.Terms {
+			if _, ranged := fn.Ranges[t.Local]; ranged && t.Coeff != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// Same processor: MYPROC terms cancel only if coefficients match.
+	if a.M != b.M {
+		return true
+	}
+	// Identical variable terms cancel exactly.
+	d := addAffine(a, b, -1) // a - b
+	if len(d.Terms) == 0 {
+		return d.C == 0
+	}
+	// Otherwise compare residual intervals (requires ranges for all terms).
+	alo, ahi, ok1 := a.ResidualInterval(fn)
+	blo, bhi, ok2 := b.ResidualInterval(fn)
+	if ok1 && ok2 && (ahi < blo || bhi < alo) {
+		return false
+	}
+	return true
+}
+
+// windowOf returns k when [lo, hi] lies within [k*m, (k+1)*m).
+func windowOf(lo, hi, m int64) (int64, bool) {
+	k := floorDiv(lo, m)
+	if floorDiv(hi, m) == k {
+		return k, true
+	}
+	return 0, false
+}
+
+func floorDiv(a, m int64) int64 {
+	q := a / m
+	if a%m != 0 && (a < 0) != (m < 0) {
+		q--
+	}
+	return q
+}
+
+// mod is the mathematical (non-negative) remainder.
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

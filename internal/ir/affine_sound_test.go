@@ -1,0 +1,232 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/source"
+)
+
+// evalAffineIndex evaluates an index expression numerically for a concrete
+// processor and assignment of ranged locals. Returns ok=false for
+// expressions that reference locals without known ranges (those are not
+// claimed distinct anyway) or non-arithmetic nodes.
+func evalAffineIndex(e Expr, myproc int64, env map[LocalID]int64) (int64, bool) {
+	switch e := e.(type) {
+	case nil:
+		return 0, true
+	case *Const:
+		if e.Val.T != source.TypeInt {
+			return 0, false
+		}
+		return e.Val.I, true
+	case *MyProc:
+		return myproc, true
+	case *LocalRef:
+		v, ok := env[e.ID]
+		return v, ok
+	case *Bin:
+		l, ok1 := evalAffineIndex(e.L, myproc, env)
+		r, ok2 := evalAffineIndex(e.R, myproc, env)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch e.Op {
+		case source.OpAdd:
+			return l + r, true
+		case source.OpSub:
+			return l - r, true
+		case source.OpMul:
+			return l * r, true
+		case source.OpMod:
+			if r == 0 {
+				return 0, false
+			}
+			return ((l % r) + r) % r, true
+		case source.OpDiv:
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		}
+		return 0, false
+	case *Un:
+		x, ok := evalAffineIndex(e.X, myproc, env)
+		if !ok {
+			return 0, false
+		}
+		if e.Op == source.OpNeg {
+			return -x, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// enumerate assigns every combination of in-range values to the listed
+// locals, calling f for each; returns false if the space is too large.
+func enumerate(fn *Fn, locals []LocalID, f func(env map[LocalID]int64)) bool {
+	const cap = 20000
+	total := 1
+	for _, l := range locals {
+		r, ok := fn.Ranges[l]
+		if !ok {
+			return false
+		}
+		total *= int(r.Hi - r.Lo)
+		if total > cap || total <= 0 {
+			return false
+		}
+	}
+	env := map[LocalID]int64{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(locals) {
+			cp := make(map[LocalID]int64, len(env))
+			for k, v := range env {
+				cp[k] = v
+			}
+			f(cp)
+			return
+		}
+		r := fn.Ranges[locals[i]]
+		for v := r.Lo; v < r.Hi; v++ {
+			env[locals[i]] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return true
+}
+
+// checkDistinctSound brute-forces one "distinct across processors" claim.
+func checkDistinctSound(t *testing.T, fn *Fn, ia, ib Expr, where string) {
+	t.Helper()
+	la := ExprLocals(ia, nil)
+	lb := ExprLocals(ib, nil)
+	collision := false
+	okA := enumerate(fn, la, func(envA map[LocalID]int64) {
+		okB := enumerate(fn, lb, func(envB map[LocalID]int64) {
+			for p := int64(0); p < int64(fn.Procs); p++ {
+				for q := int64(0); q < int64(fn.Procs); q++ {
+					if p == q {
+						continue
+					}
+					va, ok1 := evalAffineIndex(ia, p, envA)
+					vb, ok2 := evalAffineIndex(ib, q, envB)
+					if ok1 && ok2 && va == vb {
+						collision = true
+					}
+				}
+			}
+		})
+		if !okB {
+			t.Fatalf("%s: enumeration failed for second index", where)
+		}
+	})
+	if !okA {
+		t.Fatalf("%s: enumeration failed for first index", where)
+	}
+	if collision {
+		t.Errorf("%s: DistinctAcrossProcs claimed distinct, but a cross-processor collision exists\n  a: %s\n  b: %s",
+			where, fn.ExprString(ia), fn.ExprString(ib))
+	}
+}
+
+// TestDistinctClaimsAreSound brute-forces every distinctness claim the
+// analysis makes on a corpus of owner-computes programs: whenever
+// DistinctAcrossProcs says two subscripts cannot collide across
+// processors, exhaustive evaluation over the processors and induction
+// ranges must agree.
+func TestDistinctClaimsAreSound(t *testing.T) {
+	srcs := []string{
+		`
+shared int A[64];
+func main() {
+    for (local int i = 0; i < 8; i = i + 1) {
+        A[MYPROC * 8 + i] = i;
+    }
+}`,
+		`
+shared int A[64] cyclic;
+func main() {
+    for (local int i = 0; i < 8; i = i + 1) {
+        A[MYPROC + i * 8] = i;
+    }
+}`,
+		`
+shared float B[256];
+func main() {
+    for (local int i = 0; i < 2; i = i + 1) {
+        for (local int j = 0; j < 16; j = j + 1) {
+            B[j * 16 + MYPROC * 2 + i] = 1.0;
+        }
+    }
+}`,
+		`
+shared float G[64];
+func main() {
+    for (local int c = 0; c < 8; c = c + 1) {
+        G[(MYPROC - 1) * 8 + c + 8] = 1.0;
+        G[(MYPROC + 1) * 8 + c - 8] = 2.0;
+    }
+}`,
+		`
+shared int A[32];
+func main() {
+    A[MYPROC] = 0;
+    A[MYPROC * 2] = 1;
+    A[MYPROC + 3] = 2;
+    for (local int k = 1; k < 4; k = k + 1) {
+        A[MYPROC * 4 + k] = k;
+    }
+}`,
+	}
+	for si, src := range srcs {
+		fn := MustBuild(src, BuildOptions{Procs: 8})
+		claims := 0
+		for _, a := range fn.Accesses {
+			for _, b := range fn.Accesses {
+				if !a.Kind.IsData() || !b.Kind.IsData() || a.Sym != b.Sym {
+					continue
+				}
+				if DistinctAcrossProcs(fn, a.Index, b.Index) {
+					claims++
+					checkDistinctSound(t, fn, a.Index, b.Index,
+						"case "+string(rune('0'+si)))
+				}
+			}
+		}
+		if si < 3 && claims == 0 {
+			t.Errorf("case %d: expected at least one distinctness claim", si)
+		}
+	}
+}
+
+// TestConflictSymmetric checks the conflict relation's symmetry on a
+// representative program (the matrix is built symmetric by construction;
+// this guards refactors).
+func TestDistinctSymmetric(t *testing.T) {
+	fn := MustBuild(`
+shared int A[64];
+func main() {
+    for (local int i = 0; i < 8; i = i + 1) {
+        A[MYPROC * 8 + i] = i;
+        local int v = A[(MYPROC * 8 + i + 8) % 64];
+        A[MYPROC * 8 + i] = v;
+    }
+}
+`, BuildOptions{Procs: 8})
+	for _, a := range fn.Accesses {
+		for _, b := range fn.Accesses {
+			if a.Kind.IsData() && b.Kind.IsData() && a.Sym == b.Sym {
+				d1 := DistinctAcrossProcs(fn, a.Index, b.Index)
+				d2 := DistinctAcrossProcs(fn, b.Index, a.Index)
+				if d1 != d2 {
+					t.Errorf("distinctness not symmetric for %s vs %s",
+						fn.ExprString(a.Index), fn.ExprString(b.Index))
+				}
+			}
+		}
+	}
+}

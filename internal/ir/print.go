@@ -1,0 +1,108 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function's CFG in a readable text form for debugging,
+// golden tests, and the compiler driver's -dump-ir mode.
+func (f *Fn) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (procs=%d, %d accesses)\n", f.Name, f.Procs, len(f.Accesses))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for _, s := range b.Stmts {
+			fmt.Fprintf(&sb, "    %s\n", f.StmtString(s))
+		}
+		switch t := b.Term.(type) {
+		case *Jump:
+			fmt.Fprintf(&sb, "    jump b%d\n", t.To.ID)
+		case *Branch:
+			fmt.Fprintf(&sb, "    branch %s ? b%d : b%d\n", f.ExprString(t.Cond), t.Then.ID, t.Else.ID)
+		case *Ret:
+			fmt.Fprintf(&sb, "    ret\n")
+		case nil:
+			fmt.Fprintf(&sb, "    <no terminator>\n")
+		}
+	}
+	return sb.String()
+}
+
+// StmtString renders one statement.
+func (f *Fn) StmtString(s Stmt) string {
+	switch s := s.(type) {
+	case *Assign:
+		return fmt.Sprintf("%s = %s", f.localName(s.Dst), f.ExprString(s.Src))
+	case *SetElem:
+		return fmt.Sprintf("%s[%s] = %s", f.localName(s.Arr), f.ExprString(s.Index), f.ExprString(s.Src))
+	case *Load:
+		return fmt.Sprintf("%s = load %s    ; a%d", f.localName(s.Dst), f.refString(s.Acc), s.Acc.ID)
+	case *Store:
+		return fmt.Sprintf("store %s = %s    ; a%d", f.refString(s.Acc), f.ExprString(s.Src), s.Acc.ID)
+	case *SyncOp:
+		if s.Acc.Kind == AccBarrier {
+			return fmt.Sprintf("barrier    ; a%d", s.Acc.ID)
+		}
+		return fmt.Sprintf("%s %s    ; a%d", s.Acc.Kind, f.refString(s.Acc), s.Acc.ID)
+	case *Print:
+		var parts []string
+		for _, a := range s.Args {
+			if a.IsStr {
+				parts = append(parts, fmt.Sprintf("%q", a.Str))
+			} else {
+				parts = append(parts, f.ExprString(a.E))
+			}
+		}
+		return "print " + strings.Join(parts, ", ")
+	default:
+		return fmt.Sprintf("?stmt %T", s)
+	}
+}
+
+func (f *Fn) refString(a *Access) string {
+	if a.Sym == nil {
+		return ""
+	}
+	if a.Index != nil {
+		return fmt.Sprintf("%s[%s]", a.Sym.Name, f.ExprString(a.Index))
+	}
+	return a.Sym.Name
+}
+
+func (f *Fn) localName(id LocalID) string {
+	if int(id) < len(f.Locals) {
+		return f.Locals[id].Name
+	}
+	return fmt.Sprintf("l%d", id)
+}
+
+// ExprString renders one expression.
+func (f *Fn) ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *Const:
+		return e.Val.String()
+	case *LocalRef:
+		return f.localName(e.ID)
+	case *ElemRef:
+		return fmt.Sprintf("%s[%s]", f.localName(e.Arr), f.ExprString(e.Index))
+	case *MyProc:
+		return "MYPROC"
+	case *Procs:
+		return "PROCS"
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", f.ExprString(e.L), e.Op, f.ExprString(e.R))
+	case *Un:
+		return fmt.Sprintf("%s(%s)", e.Op, f.ExprString(e.X))
+	case *BuiltinCall:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, f.ExprString(a))
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	case nil:
+		return "<nil>"
+	default:
+		return fmt.Sprintf("?expr %T", e)
+	}
+}

@@ -1,0 +1,327 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/source"
+)
+
+func check(t *testing.T, src string) *Info {
+	t.Helper()
+	prog, err := source.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func checkErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	prog, err := source.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatalf("Check succeeded, want error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSubstr)
+	}
+}
+
+func TestCheckMinimal(t *testing.T) {
+	info := check(t, `func main() { }`)
+	if info.Funcs["main"] == nil {
+		t.Fatal("main not recorded")
+	}
+}
+
+func TestCheckMissingMain(t *testing.T) {
+	checkErr(t, `func helper() { }`, "no main")
+}
+
+func TestCheckMainSignature(t *testing.T) {
+	checkErr(t, `func main(int x) { }`, "main must take no parameters")
+	checkErr(t, `func main() int { return 0; }`, "main must take no parameters")
+}
+
+func TestCheckSharedScalar(t *testing.T) {
+	info := check(t, `
+shared int X on 2 = 40 + 2;
+shared float F = 3;
+func main() { X = X + 1; }
+`)
+	x := info.Lookup("X")
+	if x == nil || x.Kind != SymSharedScalar {
+		t.Fatalf("X = %+v", x)
+	}
+	if x.Owner != 2 {
+		t.Errorf("X owner = %d, want 2", x.Owner)
+	}
+	if x.Init.I != 42 {
+		t.Errorf("X init = %d, want 42", x.Init.I)
+	}
+	f := info.Lookup("F")
+	if f.Init.Type != source.TypeFloat || f.Init.F != 3 {
+		t.Errorf("F init = %+v, want float 3 (int widened)", f.Init)
+	}
+}
+
+func TestCheckSharedArray(t *testing.T) {
+	info := check(t, `
+shared int A[4 * 8] cyclic;
+func main() { A[0] = 1; }
+`)
+	a := info.Lookup("A")
+	if a.Kind != SymSharedArray || a.Size != 32 || a.Layout != source.LayoutCyclic {
+		t.Fatalf("A = %+v", a)
+	}
+}
+
+func TestCheckConstErrors(t *testing.T) {
+	checkErr(t, `shared int A[0]; func main() { }`, "non-positive size")
+	checkErr(t, `shared int A[5 - 9]; func main() { }`, "non-positive size")
+	checkErr(t, `shared int A[PROCS]; func main() { }`, "not a compile-time constant")
+	checkErr(t, `shared int A[10/0]; func main() { }`, "division by zero")
+	checkErr(t, `shared int X on 0-1; func main() { }`, "negative owner")
+	checkErr(t, `shared int X = 1.5; func main() { }`, "initializer type")
+}
+
+func TestCheckRedeclaration(t *testing.T) {
+	checkErr(t, `shared int X; shared float X; func main() { }`, "redeclared")
+	checkErr(t, `shared int X; event X; func main() { }`, "redeclared")
+	checkErr(t, `func f() { } func f() { } func main() { }`, "redeclared")
+	checkErr(t, `func main() { local int x; local int x; }`, "redeclared in this block")
+}
+
+func TestCheckLocalShadowing(t *testing.T) {
+	// A local in an inner block may shadow an outer local or a global.
+	check(t, `
+shared int X;
+func main() {
+    local int y = 1;
+    {
+        local int y = 2;
+        local int X = 3;
+        y = X;
+    }
+    y = X;
+}
+`)
+}
+
+func TestCheckUndefined(t *testing.T) {
+	checkErr(t, `func main() { x = 1; }`, "undefined: x")
+	checkErr(t, `func main() { local int y = z; }`, "undefined: z")
+	checkErr(t, `func main() { f(); }`, "undefined function: f")
+}
+
+func TestCheckIndexing(t *testing.T) {
+	checkErr(t, `shared int A[4]; func main() { A = 1; }`, "must be indexed")
+	checkErr(t, `shared int X; func main() { X[0] = 1; }`, "is not an array")
+	checkErr(t, `shared int A[4]; func main() { A[1.5] = 1; }`, "index must be int")
+	checkErr(t, `func main() { local int a[3]; a = 1; }`, "must be indexed")
+}
+
+func TestCheckEventsLocks(t *testing.T) {
+	check(t, `
+event e;
+event es[4];
+lock l;
+func main() {
+    post(e); wait(e);
+    post(es[MYPROC % 4]); wait(es[0]);
+    lock(l); unlock(l);
+}
+`)
+	checkErr(t, `event e; func main() { lock(e); }`, "lock requires a lock")
+	checkErr(t, `lock l; func main() { post(l); }`, "post requires a event")
+	checkErr(t, `shared int x; func main() { wait(x); }`, "wait requires a event")
+	checkErr(t, `event e; func main() { e = 1; }`, "cannot assign to event")
+	checkErr(t, `event e; func main() { local int x = e; }`, "cannot be used as a value")
+	checkErr(t, `event es[2]; func main() { post(es); }`, "must be indexed")
+	checkErr(t, `event e; func main() { post(e[0]); }`, "is not an array")
+	checkErr(t, `event es[0]; func main() { }`, "non-positive size")
+	checkErr(t, `lock ls[0-2]; func main() { }`, "non-positive size")
+}
+
+func TestCheckTypeRules(t *testing.T) {
+	// int widens to float
+	check(t, `
+shared float F;
+func main() {
+    local float x = 1;
+    F = 2 + x;
+    x = 3 * 2;
+}
+`)
+	checkErr(t, `func main() { local int x = 1.5; }`, "cannot initialize")
+	checkErr(t, `shared int X; func main() { X = 1.5; }`, "cannot assign")
+	checkErr(t, `func main() { local int x = 1.5 % 2; }`, "requires int operands")
+	checkErr(t, `func main() { local int b = !1.5; }`, "cannot apply !")
+	checkErr(t, `func main() { if (1 && 2.5) { } }`, "requires boolean operands")
+}
+
+func TestCheckBoolAsInt(t *testing.T) {
+	// Comparisons store into ints as 0/1, and ints can be conditions.
+	check(t, `
+func main() {
+    local int b = 3 < 4;
+    if (b) { b = 0; }
+    while (b && 1) { b = 0; }
+    local int c = !b;
+}
+`)
+}
+
+func TestCheckCalls(t *testing.T) {
+	info := check(t, `
+func add(int a, int b) int { return a + b; }
+func work() { return; }
+func main() {
+    local int x = add(1, 2);
+    work();
+}
+`)
+	if len(info.Calls) != 2 {
+		t.Errorf("recorded %d calls, want 2", len(info.Calls))
+	}
+	checkErr(t, `func f(int a) int { return a; } func main() { local int x = f(); }`, "takes 1 arguments")
+	checkErr(t, `func f(int a) int { return a; } func main() { local int x = f(1.5); }`, "must be int")
+	checkErr(t, `func v() { } func main() { local int x = v(); }`, "returns no value")
+}
+
+func TestCheckReturnRules(t *testing.T) {
+	checkErr(t, `func f() int { return; } func main() { f(); }`, "missing return value")
+	checkErr(t, `func f() { return 1; } func main() { f(); }`, "returns no value")
+	checkErr(t, `func f() int { return 1.5; } func main() { local int x = f(); }`, "cannot return")
+}
+
+func TestCheckBuiltins(t *testing.T) {
+	info := check(t, `
+func main() {
+    local float f = itof(3);
+    local int i = ftoi(f);
+    f = fabs(f) + fsqrt(4.0);
+    i = imin(i, 2) + imax(1, i);
+}
+`)
+	if len(info.Builtin) != 6 {
+		t.Errorf("recorded %d builtin calls, want 6", len(info.Builtin))
+	}
+	checkErr(t, `func main() { local float x = itof(1.5); }`, "must be int")
+	checkErr(t, `func main() { local int x = imin(1); }`, "takes 2 arguments")
+	checkErr(t, `func itof() { } func main() { }`, "builtin")
+}
+
+func TestCheckRecursionRejected(t *testing.T) {
+	checkErr(t, `
+func f(int n) int { return g(n); }
+func g(int n) int { return f(n); }
+func main() { local int x = f(1); }
+`, "recursive")
+	checkErr(t, `
+func f(int n) int { return f(n - 1); }
+func main() { local int x = f(3); }
+`, "recursive")
+}
+
+func TestCheckNonRecursiveDiamond(t *testing.T) {
+	// Diamond call graphs are fine.
+	check(t, `
+func leaf() int { return 1; }
+func a() int { return leaf(); }
+func b() int { return leaf(); }
+func main() { local int x = a() + b(); }
+`)
+}
+
+func TestCheckStringOnlyInPrint(t *testing.T) {
+	check(t, `func main() { print("ok", 1); }`)
+	// The parser already confines string literals to print arguments; the
+	// checker's guard is exercised directly on a constructed AST.
+	prog := source.MustParse(`func main() { local int x = 1; }`)
+	decl := prog.Func("main").Body.Stmts[0].(*source.LocalDecl)
+	decl.Init = &source.StringLit{Value: "b"}
+	if _, err := Check(prog); err == nil || !strings.Contains(err.Error(), "string literals") {
+		t.Fatalf("got %v, want string-literal error", err)
+	}
+}
+
+func TestCheckRefsRecorded(t *testing.T) {
+	info := check(t, `
+shared int A[8];
+func main() {
+    local int i = MYPROC;
+    A[i] = A[i] + 1;
+}
+`)
+	count := 0
+	for _, sym := range info.Refs {
+		if sym.Name == "A" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("A referenced %d times in Refs, want 2", count)
+	}
+}
+
+func TestCheckTypesRecorded(t *testing.T) {
+	info := check(t, `
+shared float F;
+func main() {
+    local int i = 1;
+    F = i + 2.5;
+}
+`)
+	found := false
+	for e, typ := range info.Types {
+		if be, ok := e.(*source.BinExpr); ok && be.Op == source.OpAdd {
+			found = true
+			if typ != source.TypeFloat {
+				t.Errorf("i + 2.5 has type %s, want float", typ)
+			}
+		}
+	}
+	if !found {
+		t.Error("add expression not found in Types")
+	}
+}
+
+func TestCheckForScope(t *testing.T) {
+	// The for-init variable is scoped to the loop.
+	checkErr(t, `
+func main() {
+    for (local int i = 0; i < 3; i = i + 1) { }
+    i = 5;
+}
+`, "undefined: i")
+}
+
+func TestSymKindString(t *testing.T) {
+	kinds := []SymKind{SymSharedScalar, SymSharedArray, SymEvent, SymLock, SymLocal}
+	for _, k := range kinds {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d renders as unknown", k)
+		}
+	}
+	if SymKind(99).String() != "unknown" {
+		t.Error("invalid kind should render as unknown")
+	}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	if !IsBuiltin("itof") || !IsBuiltin("fsqrt") {
+		t.Error("expected itof and fsqrt to be builtins")
+	}
+	if IsBuiltin("main") || IsBuiltin("") {
+		t.Error("main should not be a builtin")
+	}
+}

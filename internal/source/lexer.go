@@ -1,0 +1,321 @@
+package source
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer turns MiniSplit source text into a stream of tokens.
+// Comments (// to end of line, and /* ... */) are skipped.
+type Lexer struct {
+	src  string
+	off  int // byte offset of next rune
+	line int
+	col  int
+	err  *LexError
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Err returns the first lexical error encountered, or nil.
+func (lx *Lexer) Err() error {
+	if lx.err == nil {
+		return nil
+	}
+	return lx.err
+}
+
+func (lx *Lexer) errorf(pos Pos, format string, args ...any) {
+	if lx.err == nil {
+		lx.err = &LexError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+// peek returns the next rune without consuming it, or -1 at EOF.
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+// peek2 returns the rune after next, or -1.
+func (lx *Lexer) peek2() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	if lx.off+w >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off+w:])
+	return r
+}
+
+// next consumes and returns one rune, maintaining line/col.
+func (lx *Lexer) next() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+// skipSpace skips whitespace and comments.
+func (lx *Lexer) skipSpace() {
+	for {
+		r := lx.peek()
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			lx.next()
+		case r == '/' && lx.peek2() == '/':
+			for lx.peek() != '\n' && lx.peek() != -1 {
+				lx.next()
+			}
+		case r == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.next()
+			lx.next()
+			closed := false
+			for lx.peek() != -1 {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.next()
+					lx.next()
+					closed = true
+					break
+				}
+				lx.next()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(r rune) bool { return r >= '0' && r <= '9' }
+
+// Next returns the next token, or an EOF token at end of input.
+// After an error, it returns EOF; consult Err for the cause.
+func (lx *Lexer) Next() Token {
+	lx.skipSpace()
+	if lx.err != nil {
+		return Token{Kind: EOF, Pos: lx.pos()}
+	}
+	pos := lx.pos()
+	r := lx.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: EOF, Pos: pos}
+	case isIdentStart(r):
+		return lx.lexIdent(pos)
+	case isDigit(r):
+		return lx.lexNumber(pos)
+	case r == '"':
+		return lx.lexString(pos)
+	}
+	lx.next()
+	mk := func(k Kind) Token { return Token{Kind: k, Pos: pos} }
+	switch r {
+	case '+':
+		return mk(PLUS)
+	case '-':
+		return mk(MINUS)
+	case '*':
+		return mk(STAR)
+	case '/':
+		return mk(SLASH)
+	case '%':
+		return mk(PERCENT)
+	case '(':
+		return mk(LPAREN)
+	case ')':
+		return mk(RPAREN)
+	case '{':
+		return mk(LBRACE)
+	case '}':
+		return mk(RBRACE)
+	case '[':
+		return mk(LBRACKET)
+	case ']':
+		return mk(RBRACKET)
+	case ',':
+		return mk(COMMA)
+	case ';':
+		return mk(SEMI)
+	case '=':
+		if lx.peek() == '=' {
+			lx.next()
+			return mk(EQ)
+		}
+		return mk(ASSIGN)
+	case '!':
+		if lx.peek() == '=' {
+			lx.next()
+			return mk(NEQ)
+		}
+		return mk(NOT)
+	case '<':
+		if lx.peek() == '=' {
+			lx.next()
+			return mk(LE)
+		}
+		return mk(LT)
+	case '>':
+		if lx.peek() == '=' {
+			lx.next()
+			return mk(GE)
+		}
+		return mk(GT)
+	case '&':
+		if lx.peek() == '&' {
+			lx.next()
+			return mk(ANDAND)
+		}
+		lx.errorf(pos, "unexpected character %q (did you mean %q?)", "&", "&&")
+	case '|':
+		if lx.peek() == '|' {
+			lx.next()
+			return mk(OROR)
+		}
+		lx.errorf(pos, "unexpected character %q (did you mean %q?)", "|", "||")
+	default:
+		lx.errorf(pos, "unexpected character %q", string(r))
+	}
+	return Token{Kind: EOF, Pos: pos}
+}
+
+func (lx *Lexer) lexIdent(pos Pos) Token {
+	var sb strings.Builder
+	for isIdentCont(lx.peek()) {
+		sb.WriteRune(lx.next())
+	}
+	text := sb.String()
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Text: text, Pos: pos}
+	}
+	return Token{Kind: IDENT, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) lexNumber(pos Pos) Token {
+	var sb strings.Builder
+	for isDigit(lx.peek()) {
+		sb.WriteRune(lx.next())
+	}
+	isFloat := false
+	if lx.peek() == '.' && isDigit(lx.peek2()) {
+		isFloat = true
+		sb.WriteRune(lx.next())
+		for isDigit(lx.peek()) {
+			sb.WriteRune(lx.next())
+		}
+	}
+	if lx.peek() == 'e' || lx.peek() == 'E' {
+		save := *lx
+		var exp strings.Builder
+		exp.WriteRune(lx.next())
+		if lx.peek() == '+' || lx.peek() == '-' {
+			exp.WriteRune(lx.next())
+		}
+		if isDigit(lx.peek()) {
+			isFloat = true
+			for isDigit(lx.peek()) {
+				exp.WriteRune(lx.next())
+			}
+			sb.WriteString(exp.String())
+		} else {
+			*lx = save // 'e' belongs to a following identifier
+		}
+	}
+	if isFloat {
+		return Token{Kind: FLOATLIT, Text: sb.String(), Pos: pos}
+	}
+	return Token{Kind: INTLIT, Text: sb.String(), Pos: pos}
+}
+
+func (lx *Lexer) lexString(pos Pos) Token {
+	lx.next() // consume opening quote
+	var sb strings.Builder
+	for {
+		r := lx.peek()
+		if r == -1 || r == '\n' {
+			lx.errorf(pos, "unterminated string literal")
+			return Token{Kind: EOF, Pos: pos}
+		}
+		lx.next()
+		if r == '"' {
+			break
+		}
+		if r == '\\' {
+			esc := lx.next()
+			switch esc {
+			case 'n':
+				sb.WriteRune('\n')
+			case 't':
+				sb.WriteRune('\t')
+			case '\\':
+				sb.WriteRune('\\')
+			case '"':
+				sb.WriteRune('"')
+			default:
+				lx.errorf(pos, "unknown escape sequence \\%s", string(esc))
+				return Token{Kind: EOF, Pos: pos}
+			}
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	return Token{Kind: STRINGLIT, Text: sb.String(), Pos: pos}
+}
+
+// Tokenize lexes the entire input and returns all tokens up to and
+// including the EOF token, or the first lexical error.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		if err := lx.Err(); err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

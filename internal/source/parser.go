@@ -1,0 +1,808 @@
+package source
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError describes a syntax error with its position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parser is a recursive-descent parser for MiniSplit.
+type Parser struct {
+	toks []Token
+	i    int
+}
+
+// Parse lexes and parses a complete MiniSplit program.
+func Parse(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error. It is intended for tests and
+// for embedding known-good kernels.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token { return p.toks[p.i] }
+func (p *Parser) peek() Token { // token after current
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) advance() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		d, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Decls = append(prog.Decls, d)
+	}
+	return prog, nil
+}
+
+func (p *Parser) parseDecl() (Decl, error) {
+	switch p.cur().Kind {
+	case KWSHARED:
+		return p.parseSharedDecl()
+	case KWEVENT:
+		return p.parseEventDecl()
+	case KWLOCK:
+		return p.parseLockDecl()
+	case KWFUNC:
+		return p.parseFuncDecl()
+	default:
+		return nil, p.errorf(p.cur().Pos,
+			"expected top-level declaration (shared, event, lock, or func), found %s", p.cur())
+	}
+}
+
+func (p *Parser) parseType() (Type, error) {
+	switch p.cur().Kind {
+	case KWINT:
+		p.advance()
+		return TypeInt, nil
+	case KWFLOAT:
+		p.advance()
+		return TypeFloat, nil
+	default:
+		return TypeInvalid, p.errorf(p.cur().Pos, "expected type (int or float), found %s", p.cur())
+	}
+}
+
+func (p *Parser) parseSharedDecl() (Decl, error) {
+	pos := p.advance().Pos // shared
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &SharedDecl{Pos: pos, Name: name.Text, Type: typ}
+	if p.accept(LBRACKET) {
+		d.Size, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+		switch p.cur().Kind {
+		case KWCYCLIC:
+			p.advance()
+			d.Layout = LayoutCyclic
+		case KWBLOCKED:
+			p.advance()
+			d.Layout = LayoutBlocked
+		}
+	} else {
+		if p.accept(KWON) {
+			d.Owner, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if p.accept(ASSIGN) {
+			d.Init, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseEventDecl() (Decl, error) {
+	pos := p.advance().Pos // event
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &EventDecl{Pos: pos, Name: name.Text}
+	if p.accept(LBRACKET) {
+		d.Size, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseLockDecl() (Decl, error) {
+	pos := p.advance().Pos // lock
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &LockDecl{Pos: pos, Name: name.Text}
+	var e error
+	if p.accept(LBRACKET) {
+		d.Size, e = p.parseExpr()
+		if e != nil {
+			return nil, e
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (p *Parser) parseFuncDecl() (Decl, error) {
+	pos := p.advance().Pos // func
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Pos: pos, Name: name.Text, Result: TypeVoid}
+	for p.cur().Kind != RPAREN {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		ppos := p.cur().Pos
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Pos: ppos, Name: pname.Text, Type: typ})
+	}
+	p.advance() // )
+	if p.cur().Kind == KWINT || p.cur().Kind == KWFLOAT {
+		f.Result, _ = p.parseType()
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != RBRACE {
+		if p.cur().Kind == EOF {
+			return nil, p.errorf(p.cur().Pos, "unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case LBRACE:
+		return p.parseBlock()
+	case KWLOCAL:
+		return p.parseLocalDecl()
+	case KWIF:
+		return p.parseIf()
+	case KWWHILE:
+		return p.parseWhile()
+	case KWFOR:
+		return p.parseFor()
+	case KWBARRIER:
+		pos := p.advance().Pos
+		// Allow both "barrier;" and "barrier();".
+		if p.accept(LPAREN) {
+			if _, err := p.expect(RPAREN); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BarrierStmt{Pos: pos}, nil
+	case KWPOST:
+		pos := p.advance().Pos
+		ref, err := p.parseParenVarRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &PostStmt{Pos: pos, Event: ref}, nil
+	case KWWAIT:
+		pos := p.advance().Pos
+		ref, err := p.parseParenVarRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &WaitStmt{Pos: pos, Event: ref}, nil
+	case KWLOCK:
+		pos := p.advance().Pos
+		ref, err := p.parseParenVarRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &LockStmt{Pos: pos, Lock: ref}, nil
+	case KWUNLOCK:
+		pos := p.advance().Pos
+		ref, err := p.parseParenVarRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &UnlockStmt{Pos: pos, Lock: ref}, nil
+	case KWRETURN:
+		pos := p.advance().Pos
+		r := &ReturnStmt{Pos: pos}
+		if p.cur().Kind != SEMI {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = v
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case KWPRINT:
+		pos := p.advance().Pos
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		pr := &PrintStmt{Pos: pos}
+		for p.cur().Kind != RPAREN {
+			if len(pr.Args) > 0 {
+				if _, err := p.expect(COMMA); err != nil {
+					return nil, err
+				}
+			}
+			a, err := p.parsePrintArg()
+			if err != nil {
+				return nil, err
+			}
+			pr.Args = append(pr.Args, a)
+		}
+		p.advance() // )
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return pr, nil
+	case IDENT:
+		// assignment or call statement
+		if p.peek().Kind == LPAREN {
+			call, err := p.parseCall()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+			return &CallStmt{Pos: call.Pos, Call: call}, nil
+		}
+		st, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		return nil, p.errorf(p.cur().Pos, "expected statement, found %s", p.cur())
+	}
+}
+
+// parseParenVarRef parses "( ident [index]? )".
+func (p *Parser) parseParenVarRef() (*VarRef, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	ref := &VarRef{Pos: name.Pos, Name: name.Text}
+	if p.accept(LBRACKET) {
+		ref.Index, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return ref, nil
+}
+
+func (p *Parser) parsePrintArg() (Expr, error) {
+	if p.cur().Kind == STRINGLIT {
+		t := p.advance()
+		return &StringLit{Pos: t.Pos, Value: t.Text}, nil
+	}
+	return p.parseExpr()
+}
+
+func (p *Parser) parseLocalDecl() (Stmt, error) {
+	pos := p.advance().Pos // local
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &LocalDecl{Pos: pos, Name: name.Text, Type: typ}
+	if p.accept(LBRACKET) {
+		d.Size, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+	} else if p.accept(ASSIGN) {
+		d.Init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseAssign parses "lvalue = expr" without the trailing semicolon.
+func (p *Parser) parseAssign() (*AssignStmt, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	lhs := &VarRef{Pos: name.Pos, Name: name.Text}
+	if p.accept(LBRACKET) {
+		lhs.Index, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Pos: name.Pos, LHS: lhs, RHS: rhs}, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	pos := p.advance().Pos // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: pos, Cond: cond, Then: then}
+	if p.accept(KWELSE) {
+		if p.cur().Kind == KWIF {
+			// else-if: wrap in a block
+			inner, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = &BlockStmt{Pos: inner.Position(), Stmts: []Stmt{inner}}
+		} else {
+			st.Else, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	pos := p.advance().Pos // while
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	pos := p.advance().Pos // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Pos: pos}
+	var err error
+	if p.cur().Kind != SEMI {
+		if p.cur().Kind == KWLOCAL {
+			st.Init, err = p.parseLocalDecl()
+			if err != nil {
+				return nil, err
+			}
+			// parseLocalDecl consumed the semicolon.
+		} else {
+			st.Init, err = p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.advance() // ;
+	}
+	if p.cur().Kind != SEMI {
+		st.Cond, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RPAREN {
+		st.Post, err = p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	st.Body, err = p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseCall() (*CallExpr, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	c := &CallExpr{Pos: name.Pos, Name: name.Text}
+	for p.cur().Kind != RPAREN {
+		if len(c.Args) > 0 {
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Args = append(c.Args, a)
+	}
+	p.advance() // )
+	return c, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	expr   := orExpr
+//	orExpr := andExpr ( "||" andExpr )*
+//	andExpr:= cmpExpr ( "&&" cmpExpr )*
+//	cmpExpr:= addExpr ( (==|!=|<|<=|>|>=) addExpr )?
+//	addExpr:= mulExpr ( (+|-) mulExpr )*
+//	mulExpr:= unary   ( (*|/|%) unary )*
+//	unary  := (-|!) unary | primary
+//	primary:= literal | varref | call | MYPROC | PROCS | "(" expr ")"
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OROR {
+		pos := p.advance().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == ANDAND {
+		pos := p.advance().Pos
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[Kind]BinOp{
+	EQ:  OpEq,
+	NEQ: OpNeq,
+	LT:  OpLt,
+	LE:  OpLe,
+	GT:  OpGt,
+	GE:  OpGe,
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		pos := p.advance().Pos
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinExpr{Pos: pos, Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == PLUS || p.cur().Kind == MINUS {
+		op := OpAdd
+		if p.cur().Kind == MINUS {
+			op = OpSub
+		}
+		pos := p.advance().Pos
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinOp
+		switch p.cur().Kind {
+		case STAR:
+			op = OpMul
+		case SLASH:
+			op = OpDiv
+		case PERCENT:
+			op = OpMod
+		default:
+			return l, nil
+		}
+		pos := p.advance().Pos
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Pos: pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case MINUS:
+		pos := p.advance().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: pos, Op: OpNeg, X: x}, nil
+	case NOT:
+		pos := p.advance().Pos
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Pos: pos, Op: OpNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case INTLIT:
+		t := p.advance()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf(t.Pos, "invalid integer literal %q", t.Text)
+		}
+		return &IntLit{Pos: t.Pos, Value: v}, nil
+	case FLOATLIT:
+		t := p.advance()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf(t.Pos, "invalid float literal %q", t.Text)
+		}
+		return &FloatLit{Pos: t.Pos, Value: v}, nil
+	case KWMYPROC:
+		t := p.advance()
+		return &MyProcExpr{Pos: t.Pos}, nil
+	case KWPROCS:
+		t := p.advance()
+		return &ProcsExpr{Pos: t.Pos}, nil
+	case LPAREN:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case IDENT:
+		if p.peek().Kind == LPAREN {
+			return p.parseCall()
+		}
+		t := p.advance()
+		ref := &VarRef{Pos: t.Pos, Name: t.Text}
+		if p.accept(LBRACKET) {
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			ref.Index = idx
+		}
+		return ref, nil
+	default:
+		return nil, p.errorf(p.cur().Pos, "expected expression, found %s", p.cur())
+	}
+}

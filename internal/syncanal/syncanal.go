@@ -1,0 +1,664 @@
+// Package syncanal implements the paper's core contribution (section 5):
+// sharpening the Shasha–Snir delay set with synchronization information
+// from post/wait events, barriers, and locks.
+//
+// The algorithm is the six-step refinement of section 5.1:
+//
+//  1. Compute the dominator tree.
+//  2. Compute the initial delay set D1 by restricting back-path detection
+//     to pairs that include one synchronization access.
+//  3. Seed the precedence relation R with matching post->wait pairs (and a
+//     reflexive edge for each barrier: operations before a barrier episode
+//     precede operations after it on every processor).
+//  4. Close R under the dominator rule: [a1, a2] joins R when there are
+//     b1, b2 with a1 dom b1, b2 dom a2, [a1,b1] ∈ D1, [b2,a2] ∈ D1 and
+//     [b1,b2] ∈ R; and under transitivity.
+//  5. Orient the conflict edges ordered by R: C1 = C − {[a2,a1] : [a1,a2] ∈ R}.
+//  6. D = D1 ∪ {[a,b] ∈ P : back-path in P ∪ C1}, where the back-path
+//     search also removes accesses disqualified by R (Figure 6) and by
+//     common-lock guarding (section 5.3).
+package syncanal
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/conflict"
+	"repro/internal/delay"
+	"repro/internal/ir"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// Exact uses the exponential simple-path search in back-path detection.
+	Exact bool
+	// NoPostWait, NoBarrier, NoLocks disable individual refinements
+	// (for ablation studies).
+	NoPostWait bool
+	NoBarrier  bool
+	NoLocks    bool
+}
+
+// Precedence is the relation R: Has(a, b) means access a is guaranteed to
+// complete before access b is initiated, in every execution, whenever the
+// two dynamic instances are "aligned" by the synchronization structure.
+type Precedence struct {
+	n   int
+	rel []bool
+}
+
+// NewPrecedence returns an empty relation over n accesses.
+func NewPrecedence(n int) *Precedence {
+	return &Precedence{n: n, rel: make([]bool, n*n)}
+}
+
+// Has reports whether [a, b] is in R.
+func (r *Precedence) Has(a, b int) bool { return r.rel[a*r.n+b] }
+
+// Add inserts [a, b]; it reports whether the edge was new.
+func (r *Precedence) Add(a, b int) bool {
+	if r.rel[a*r.n+b] {
+		return false
+	}
+	r.rel[a*r.n+b] = true
+	return true
+}
+
+// Size returns the number of edges.
+func (r *Precedence) Size() int {
+	c := 0
+	for _, v := range r.rel {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+// transClose closes R under transitivity (Floyd–Warshall); reports change.
+func (r *Precedence) transClose() bool {
+	changed := false
+	n := r.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !r.rel[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if r.rel[k*n+j] && !r.rel[i*n+j] {
+					r.rel[i*n+j] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// Result carries everything the analysis computed.
+type Result struct {
+	Fn   *ir.Fn
+	AG   *ir.AccessGraph
+	CS   *conflict.Set
+	Dom  *ir.DomTree
+	PDom *ir.PostDomTree
+	// Baseline is the plain Shasha–Snir delay set (no synchronization
+	// analysis): the paper's Figure 12 "unoptimized" compiler.
+	Baseline *delay.Set
+	// D1 is the initial delay set restricted to synchronization pairs.
+	D1 *delay.Set
+	// R is the refined precedence relation.
+	R *Precedence
+	// D is the final delay set.
+	D *delay.Set
+	// Guards maps access ID -> set of lock keys guarding it.
+	Guards map[int]map[string]bool
+	// CoPhase is the symmetric co-phase relation (nil when barrier
+	// analysis is disabled): CoPhase[x*n+y] reports that accesses x and y
+	// can appear in a common barrier-free region.
+	CoPhase []bool
+}
+
+// Analyze runs the full pipeline on fn.
+func Analyze(fn *ir.Fn, opts Options) *Result {
+	res := &Result{
+		Fn:   fn,
+		AG:   ir.BuildAccessGraph(fn),
+		CS:   conflict.Compute(fn),
+		Dom:  ir.BuildDom(fn),
+		PDom: ir.BuildPostDom(fn),
+	}
+	res.Baseline = delay.Compute(res.AG, res.CS, delay.Constraints{Exact: opts.Exact})
+
+	// Step 2: D1.
+	isSyncPair := func(a, b int) bool {
+		return fn.Accesses[a].Kind.IsSync() || fn.Accesses[b].Kind.IsSync()
+	}
+	res.D1 = delay.Compute(res.AG, res.CS, delay.Constraints{
+		PairFilter: isSyncPair,
+		Exact:      opts.Exact,
+	})
+
+	// Step 3: seed R.
+	n := len(fn.Accesses)
+	res.R = NewPrecedence(n)
+	for _, a := range fn.Accesses {
+		switch a.Kind {
+		case ir.AccPost:
+			if opts.NoPostWait {
+				continue
+			}
+			for _, b := range fn.Accesses {
+				if b.Kind == ir.AccWait && eventsMatch(a, b) {
+					res.R.Add(a.ID, b.ID)
+				}
+			}
+		case ir.AccBarrier:
+			if !opts.NoBarrier {
+				res.R.Add(a.ID, a.ID)
+			}
+		}
+	}
+
+	// Step 4: close R under the dominator rule and transitivity.
+	res.refineR()
+
+	// Lock guards (section 5.3).
+	if !opts.NoLocks {
+		res.Guards = computeGuards(res)
+	} else {
+		res.Guards = map[int]map[string]bool{}
+	}
+
+	// Barrier phase partitioning (section 5.2): two data accesses that
+	// never share a barrier-free region cannot execute concurrently when
+	// barriers line up, so their conflict edges cannot appear in a
+	// violation window between two data accesses. The write->barrier and
+	// barrier->read delays that actually enforce the phase separation are
+	// sync-involving pairs and are computed without this filter (and kept
+	// wholesale through D1).
+	if opts.NoBarrier {
+		res.CoPhase = nil
+	} else {
+		res.CoPhase = buildCoPhase(fn, res.AG)
+	}
+
+	cophase := func(x, y int) bool {
+		if res.CoPhase == nil {
+			return true
+		}
+		return res.CoPhase[x*n+y]
+	}
+	orientDir := func(x, y int) bool {
+		// Remove the direction [a2 -> a1] when [a1, a2] ∈ R.
+		return !res.R.Has(y, x)
+	}
+	phasedDir := func(x, y int) bool {
+		if fn.Accesses[x].Kind.IsData() && fn.Accesses[y].Kind.IsData() && !cophase(x, y) {
+			return false
+		}
+		return orientDir(x, y)
+	}
+	removed := func(a, b, z int) bool {
+		// Figure 6: a path to a is an execution where the path's accesses
+		// run before a; z with a ≤ z can never do that. Symmetrically a
+		// path from b is an execution where they run after b.
+		if res.R.Has(a, z) || res.R.Has(z, b) {
+			return true
+		}
+		// Section 5.3: for a pair guarded by the same lock, other accesses
+		// guarded by that lock cannot appear in the violation sequence.
+		if len(res.Guards) > 0 {
+			ga, gb, gz := res.Guards[a], res.Guards[b], res.Guards[z]
+			for l := range ga {
+				if gb[l] && gz[l] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Steps 5-6, in two passes: pairs involving a synchronization access
+	// keep the full conflict set (orientation and removal only); pairs of
+	// two data accesses additionally drop phase-separated conflict edges.
+	syncPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
+		PairFilter:  isSyncPair,
+		ConflictDir: orientDir,
+		Removed:     removed,
+		Exact:       opts.Exact,
+	})
+	dataPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
+		PairFilter:  func(a, b int) bool { return !isSyncPair(a, b) },
+		ConflictDir: phasedDir,
+		Removed:     removed,
+		Exact:       opts.Exact,
+	})
+	res.D = res.D1.Union(syncPairs).Union(dataPairs)
+	return res
+}
+
+// buildCoPhase computes the symmetric co-phase relation: CoPhase[x][y] is
+// true when some barrier-free region of the access graph contains both x
+// and y. Regions start at the program entry and immediately after each
+// barrier access, and extend until the next barrier. Accesses that are
+// never co-phase cannot execute concurrently under aligned barriers.
+func buildCoPhase(fn *ir.Fn, ag *ir.AccessGraph) []bool {
+	n := len(fn.Accesses)
+	co := make([]bool, n*n)
+	isBarrier := func(id int) bool { return fn.Accesses[id].Kind == ir.AccBarrier }
+
+	mark := func(region []int) {
+		for _, x := range region {
+			for _, y := range region {
+				co[x*n+y] = true
+			}
+		}
+	}
+	// BFS limited to non-barrier nodes.
+	sweep := func(starts []int) []int {
+		seen := make([]bool, n)
+		var region []int
+		var stack []int
+		for _, s := range starts {
+			if isBarrier(s) || seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+			region = append(region, s)
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range ag.G.Adj[u] {
+				if seen[v] || isBarrier(v) {
+					continue
+				}
+				seen[v] = true
+				stack = append(stack, v)
+				region = append(region, v)
+			}
+		}
+		return region
+	}
+
+	// Region starting at program entry: accesses reachable before the
+	// first barrier. Entry accesses are those with no position... the
+	// access graph has no explicit entry node, so start from the accesses
+	// of the entry block chain: every access not strictly preceded by a
+	// barrier is conservatively seeded below via per-barrier sweeps plus
+	// an entry sweep from the function's first reachable accesses.
+	entryStarts := firstAccesses(fn)
+	mark(sweep(entryStarts))
+	for _, a := range fn.Accesses {
+		if a.Kind == ir.AccBarrier {
+			mark(sweep(ag.G.Adj[a.ID]))
+		}
+	}
+	return co
+}
+
+// firstAccesses returns the accesses reachable from the function entry
+// without crossing any other access.
+func firstAccesses(fn *ir.Fn) []int {
+	var out []int
+	seen := make(map[int]bool)
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, s := range b.Stmts {
+			if a := ir.AccessOf(s); a != nil {
+				out = append(out, a.ID)
+				return
+			}
+		}
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	walk(fn.Blocks[0])
+	return out
+}
+
+// eventsMatch reports whether a post and a wait name the same event object.
+// MiniSplit events are single-post (posting an already-posted event is a
+// runtime error, matching the paper's "illegal to post more than once on an
+// event variable" assumption), so a wait on event e[v] is released by *the*
+// unique post of e[v]: any post statement on the same symbol is the
+// statically matching producer.
+func eventsMatch(post, wait *ir.Access) bool {
+	return post.Sym == wait.Sym
+}
+
+// refineR iterates the dominator-based derivation and transitive closure
+// until fixpoint (step 4 of section 5.1).
+func (res *Result) refineR() {
+	fn := res.Fn
+	n := len(fn.Accesses)
+	// Precompute D1 adjacency with domination conditions.
+	// d1succDom[a] = {s : [a,s] ∈ D1 and a dominates s}
+	// d1predDom[a] = {s : [s,a] ∈ D1 and s dominates a}
+	d1succDom := make([][]int, n)
+	d1predDom := make([][]int, n)
+	for _, p := range res.D1.Pairs() {
+		a, b := fn.Accesses[p.A], fn.Accesses[p.B]
+		// Producer side (a1, b1): we need every execution of a1 to be
+		// followed by b1, whose D1 delay then forces a1's completion. The
+		// paper states "a1 dominates b1"; b1 postdominating a1 is the
+		// execution-order dual and covers producers inside loops (a write
+		// in a loop body never dominates the post after the loop, but the
+		// post does postdominate it).
+		if res.Dom.StmtDominates(a, b) || res.PDom.StmtPostDominates(b, a) {
+			d1succDom[p.A] = append(d1succDom[p.A], p.B)
+		}
+		// Consumer side (b2, a2): b2 must have executed (and its delay
+		// forced) before any execution of a2 — domination proper.
+		if res.Dom.StmtDominates(a, b) {
+			d1predDom[p.B] = append(d1predDom[p.B], p.A)
+		}
+	}
+	for {
+		changed := res.R.transClose()
+		for a1 := 0; a1 < n; a1++ {
+			for a2 := 0; a2 < n; a2++ {
+				if res.R.Has(a1, a2) {
+					continue
+				}
+				if derive(res.R, d1succDom[a1], d1predDom[a2]) {
+					res.R.Add(a1, a2)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// derive reports whether some b1 in succs and b2 in preds have [b1,b2] ∈ R.
+func derive(r *Precedence, succs, preds []int) bool {
+	for _, b1 := range succs {
+		for _, b2 := range preds {
+			if r.Has(b1, b2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// computeGuards implements the guarded-access definition of section 5.3.
+//
+// An access a is guarded by lock l when:
+//  1. a is dominated by a lock(l) operation b1 with no intervening
+//     unlock(l) (we require l to be must-held at a);
+//  2. a dominates an unlock(l) operation b2;
+//  3. a's execution is confined to the critical section: b1's completion
+//     is forced before a ([b1, a] through D1 ∪ def-use) and a's completion
+//     before b2 ([a, b2] likewise). The def-use component covers reads
+//     whose completion is forced by the first use of their value (as in a
+//     read-modify-write), which D1 alone does not record.
+func computeGuards(res *Result) map[int]map[string]bool {
+	fn := res.Fn
+	guards := make(map[int]map[string]bool)
+	held := mustHeldLocks(fn)
+	confined := confinementReach(res)
+	for _, a := range fn.Accesses {
+		for l := range held[a.ID] {
+			b1 := dominatingLock(res, a, l)
+			if b1 == nil || !confined[b1.ID][a.ID] {
+				continue
+			}
+			b2 := dominatedUnlock(res, a, l)
+			if b2 == nil || !confined[a.ID][b2.ID] {
+				continue
+			}
+			if guards[a.ID] == nil {
+				guards[a.ID] = make(map[string]bool)
+			}
+			guards[a.ID][l] = true
+		}
+	}
+	return guards
+}
+
+// confinementReach builds the reachability closure of D1 edges plus direct
+// def-use edges (a Load's destination local used in a later access's
+// expressions forces the load's completion before that access initiates —
+// an operand dependence the hardware enforces unconditionally).
+func confinementReach(res *Result) [][]bool {
+	fn := res.Fn
+	n := len(fn.Accesses)
+	adj := make([][]int, n)
+	for _, p := range res.D1.Pairs() {
+		adj[p.A] = append(adj[p.A], p.B)
+	}
+	// Direct def-use: load a defines a unique temp; any access whose
+	// expressions read that temp depends on a.
+	for _, blk := range fn.Blocks {
+		for _, s := range blk.Stmts {
+			ld, ok := s.(*ir.Load)
+			if !ok {
+				continue
+			}
+			for _, c := range fn.Accesses {
+				if c.ID == ld.Acc.ID {
+					continue
+				}
+				if accessUsesLocal(c, ld.Dst) {
+					adj[ld.Acc.ID] = append(adj[ld.Acc.ID], c.ID)
+				}
+			}
+		}
+	}
+	reach := make([][]bool, n)
+	for i := 0; i < n; i++ {
+		seen := make([]bool, n)
+		stack := append([]int(nil), adj[i]...)
+		for _, v := range stack {
+			seen[v] = true
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		reach[i] = seen
+	}
+	return reach
+}
+
+// accessUsesLocal reports whether the access's statement reads the local.
+func accessUsesLocal(a *ir.Access, id ir.LocalID) bool {
+	if a.Blk == nil || a.Idx >= len(a.Blk.Stmts) {
+		return false
+	}
+	switch s := a.Blk.Stmts[a.Idx].(type) {
+	case *ir.Load:
+		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+	case *ir.Store:
+		if ir.ExprUsesLocal(s.Src, id) {
+			return true
+		}
+		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+	case *ir.SyncOp:
+		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+	}
+	return false
+}
+
+// mustHeldLocks runs a forward must-dataflow: held[acc] = set of lock keys
+// held on every path reaching the access.
+func mustHeldLocks(fn *ir.Fn) map[int]map[string]bool {
+	// Collect lock keys.
+	keyOf := func(a *ir.Access) string {
+		if a.Index == nil {
+			return a.Sym.Name
+		}
+		return a.Sym.Name + "[" + fn.ExprString(a.Index) + "]"
+	}
+	nb := len(fn.Blocks)
+	// in[b] = set held at block entry. Universal set approximated by nil
+	// with a visited flag.
+	in := make([]map[string]bool, nb)
+	visited := make([]bool, nb)
+	preds := fn.Preds()
+
+	clone := func(m map[string]bool) map[string]bool {
+		out := make(map[string]bool, len(m))
+		for k, v := range m {
+			if v {
+				out[k] = true
+			}
+		}
+		return out
+	}
+	transfer := func(b *ir.Block, s map[string]bool) map[string]bool {
+		out := clone(s)
+		for _, st := range b.Stmts {
+			a := ir.AccessOf(st)
+			if a == nil {
+				continue
+			}
+			switch a.Kind {
+			case ir.AccLock:
+				out[keyOf(a)] = true
+			case ir.AccUnlock:
+				delete(out, keyOf(a))
+			}
+		}
+		return out
+	}
+	intersect := func(a, b map[string]bool) map[string]bool {
+		out := make(map[string]bool)
+		for k := range a {
+			if b[k] {
+				out[k] = true
+			}
+		}
+		return out
+	}
+
+	in[0] = map[string]bool{}
+	visited[0] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range fn.Blocks {
+			if b.ID != 0 {
+				var meet map[string]bool
+				any := false
+				for _, p := range preds[b.ID] {
+					if !visited[p.ID] {
+						continue
+					}
+					out := transfer(p, in[p.ID])
+					if !any {
+						meet = out
+						any = true
+					} else {
+						meet = intersect(meet, out)
+					}
+				}
+				if !any {
+					continue
+				}
+				if !visited[b.ID] || !sameSet(in[b.ID], meet) {
+					in[b.ID] = meet
+					visited[b.ID] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	held := make(map[int]map[string]bool)
+	for _, b := range fn.Blocks {
+		if !visited[b.ID] {
+			continue
+		}
+		cur := clone(in[b.ID])
+		for _, st := range b.Stmts {
+			a := ir.AccessOf(st)
+			if a == nil {
+				continue
+			}
+			held[a.ID] = clone(cur)
+			switch a.Kind {
+			case ir.AccLock:
+				cur[keyOf(a)] = true
+			case ir.AccUnlock:
+				delete(cur, keyOf(a))
+			}
+		}
+	}
+	return held
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominatingLock finds a lock access with key l that dominates a, or nil.
+func dominatingLock(res *Result, a *ir.Access, l string) *ir.Access {
+	for _, c := range res.Fn.Accesses {
+		if c.Kind == ir.AccLock && accessKey(res.Fn, c) == l && res.Dom.StmtDominates(c, a) {
+			return c
+		}
+	}
+	return nil
+}
+
+// dominatedUnlock finds an unlock access with key l dominated by a, or nil.
+func dominatedUnlock(res *Result, a *ir.Access, l string) *ir.Access {
+	for _, c := range res.Fn.Accesses {
+		if c.Kind == ir.AccUnlock && accessKey(res.Fn, c) == l && res.Dom.StmtDominates(a, c) {
+			return c
+		}
+	}
+	return nil
+}
+
+func accessKey(fn *ir.Fn, a *ir.Access) string {
+	if a.Index == nil {
+		return a.Sym.Name
+	}
+	return a.Sym.Name + "[" + fn.ExprString(a.Index) + "]"
+}
+
+// Summary renders a human-readable account of the analysis for the driver.
+func (res *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "accesses:        %d\n", len(res.Fn.Accesses))
+	fmt.Fprintf(&sb, "conflict pairs:  %d\n", res.CS.Size())
+	fmt.Fprintf(&sb, "baseline delays: %d (Shasha-Snir)\n", res.Baseline.Size())
+	fmt.Fprintf(&sb, "D1 delays:       %d\n", res.D1.Size())
+	fmt.Fprintf(&sb, "precedence |R|:  %d\n", res.R.Size())
+	fmt.Fprintf(&sb, "final delays:    %d\n", res.D.Size())
+	guarded := make([]int, 0, len(res.Guards))
+	for id := range res.Guards {
+		guarded = append(guarded, id)
+	}
+	sort.Ints(guarded)
+	if len(guarded) > 0 {
+		fmt.Fprintf(&sb, "lock-guarded accesses: %v\n", guarded)
+	}
+	return sb.String()
+}

@@ -1,0 +1,197 @@
+package splitc_test
+
+// End-to-end tests over the sample programs in testdata/: every program is
+// compiled at every optimization level, executed on the weak-memory
+// simulator (with and without jitter), compared against the sequentially
+// consistent oracle, and spot-checked against hand-computed values.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+const sampleProcs = 8
+
+type sampleCheck func(t *testing.T, mem map[string][]ir.Value, prints []string)
+
+var samples = map[string]sampleCheck{
+	"reduction.ms": func(t *testing.T, mem map[string][]ir.Value, prints []string) {
+		want := int64(0)
+		for p := 1; p <= sampleProcs; p++ {
+			want += int64(p * p)
+		}
+		if got := mem["Sum"][0].I; got != want {
+			t.Errorf("Sum = %d, want %d", got, want)
+		}
+		found := false
+		for _, line := range prints {
+			if line == "[p0] sum 204" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing sum print: %v", prints)
+		}
+	},
+	"ring.ms": func(t *testing.T, mem map[string][]ir.Value, prints []string) {
+		for p := 0; p < sampleProcs; p++ {
+			if got := mem["Trace"][p].I; got != int64(p*10+1) {
+				t.Errorf("Trace[%d] = %d, want %d", p, got, p*10+1)
+			}
+		}
+	},
+	"matvec.ms": func(t *testing.T, mem map[string][]ir.Value, prints []string) {
+		var a [8][8]float64
+		var x [8]float64
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				a[r][c] = float64((r + c) % 5)
+			}
+		}
+		for c := 0; c < 8; c++ {
+			x[c] = float64(c%3 + 1)
+		}
+		for r := 0; r < 8; r++ {
+			want := 0.0
+			for c := 0; c < 8; c++ {
+				want += a[r][c] * x[c]
+			}
+			if got := mem["y"][r].Float(); got != want {
+				t.Errorf("y[%d] = %g, want %g", r, got, want)
+			}
+		}
+	},
+	"oddeven.ms": func(t *testing.T, mem map[string][]ir.Value, prints []string) {
+		vals := mem["A"]
+		for i := 1; i < len(vals); i++ {
+			if vals[i-1].I > vals[i].I {
+				t.Errorf("not sorted at %d: %v", i, vals)
+			}
+		}
+		// Same multiset as the init pattern (a permutation of (5i+3) mod 8).
+		counts := map[int64]int{}
+		for _, v := range vals {
+			counts[v.I]++
+		}
+		for i := 0; i < 8; i++ {
+			counts[int64((i*5+3)%8)]--
+		}
+		for k, c := range counts {
+			if c != 0 {
+				t.Errorf("value %d count off by %d", k, c)
+			}
+		}
+	},
+	"heat1d.ms": func(t *testing.T, mem map[string][]ir.Value, prints []string) {
+		// Sequential oracle for 3 smoothing steps with reflective ends.
+		u := make([]float64, 16)
+		for i := range u {
+			u[i] = float64(i % 4)
+		}
+		for step := 0; step < 3; step++ {
+			v := make([]float64, 16)
+			for i := range u {
+				l, r := i-1, i+1
+				if l < 0 {
+					l = 0
+				}
+				if r > 15 {
+					r = 15
+				}
+				v[i] = 0.25*u[l] + 0.5*u[i] + 0.25*u[r]
+			}
+			u = v
+		}
+		for i := range u {
+			got := mem["U"][i].Float()
+			d := got - u[i]
+			if d < -1e-9 || d > 1e-9 {
+				t.Errorf("U[%d] = %g, want %g", i, got, u[i])
+			}
+		}
+	},
+	"histogram.ms": func(t *testing.T, mem map[string][]ir.Value, prints []string) {
+		want := make([]int64, 4)
+		for p := 0; p < sampleProcs; p++ {
+			for i := 0; i < 6; i++ {
+				want[(p*7+i*3)%4]++
+			}
+		}
+		for b := 0; b < 4; b++ {
+			if got := mem["Bins"][b].I; got != want[b] {
+				t.Errorf("Bins[%d] = %d, want %d", b, got, want[b])
+			}
+		}
+	},
+}
+
+func TestSamplePrograms(t *testing.T) {
+	levels := []splitc.Level{
+		splitc.LevelBlocking, splitc.LevelBaseline, splitc.LevelPipelined, splitc.LevelOneWay,
+	}
+	for name, check := range samples {
+		name, check := name, check
+		t.Run(name, func(t *testing.T) {
+			text, err := os.ReadFile(filepath.Join("testdata", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, lvl := range levels {
+				prog, err := splitc.Compile(string(text), splitc.Options{
+					Procs: sampleProcs, Level: lvl, CSE: true,
+				})
+				if err != nil {
+					t.Fatalf("%s: compile: %v", lvl, err)
+				}
+				for _, jitter := range []float64{0, 2.5} {
+					res, err := prog.Run(machine.CM5(sampleProcs), interp.RunOptions{Jitter: jitter, Seed: 7})
+					if err != nil {
+						t.Fatalf("%s jitter %g: %v", lvl, jitter, err)
+					}
+					check(t, res.Memory, res.Prints)
+				}
+				// The SC oracle agrees with the hand-computed values too.
+				sc, err := prog.RunSC(3)
+				if err != nil {
+					t.Fatalf("%s: sc: %v", lvl, err)
+				}
+				check(t, sc.Memory, sc.Prints)
+			}
+		})
+	}
+}
+
+func TestSamplesShowOptimizationValue(t *testing.T) {
+	// The communication-heavy samples speed up from baseline to one-way.
+	for _, name := range []string{"matvec.ms", "heat1d.ms", "oddeven.ms"} {
+		text, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := map[splitc.Level]float64{}
+		for _, lvl := range []splitc.Level{splitc.LevelBaseline, splitc.LevelOneWay} {
+			prog, err := splitc.Compile(string(text), splitc.Options{Procs: sampleProcs, Level: lvl})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := prog.Run(machine.CM5(sampleProcs), interp.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[lvl] = res.Time
+		}
+		if times[splitc.LevelOneWay] > times[splitc.LevelBaseline] {
+			t.Errorf("%s: one-way (%.0f) slower than baseline (%.0f)",
+				name, times[splitc.LevelOneWay], times[splitc.LevelBaseline])
+		}
+		t.Logf("%-12s baseline %8.0f  oneway %8.0f (%.2fx)", name,
+			times[splitc.LevelBaseline], times[splitc.LevelOneWay],
+			times[splitc.LevelBaseline]/times[splitc.LevelOneWay])
+	}
+}

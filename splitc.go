@@ -1,0 +1,195 @@
+// Package splitc is a compiler and simulator for MiniSplit, an explicitly
+// parallel SPMD language with a global address space, reproducing the
+// analyses and optimizations of Krishnamurthy & Yelick, "Optimizing
+// Parallel Programs with Explicit Synchronization" (PLDI 1995).
+//
+// The pipeline is: parse -> type check -> build IR (inlining, explicit
+// shared accesses) -> conflict set -> cycle detection (Shasha & Snir delay
+// sets) -> synchronization analysis (post/wait, barriers, locks) -> split
+// phase code generation (message pipelining, one-way communication,
+// communication elimination) -> execution on a simulated distributed-memory
+// machine (CM-5, T3D, DASH cost models) under genuinely weak memory
+// ordering.
+//
+// Quick start:
+//
+//	prog, err := splitc.Compile(src, splitc.Options{Procs: 8, Level: splitc.LevelOneWay})
+//	res, err := prog.Run(machine.CM5(8), interp.RunOptions{})
+//	fmt.Println(res.Time, res.Prints)
+package splitc
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/delay"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/syncanal"
+	"repro/internal/target"
+)
+
+// Level selects the optimization level, mirroring the three bars of the
+// paper's Figure 12 plus two reference points.
+type Level int
+
+// Optimization levels.
+const (
+	// LevelBlocking pins every sync_ctr next to its initiation: fully
+	// blocking shared accesses (a reference point below the paper's base).
+	LevelBlocking Level = iota
+	// LevelBaseline applies Shasha & Snir cycle detection only — the
+	// paper's "unoptimized" compiler, against which Figure 12 normalizes.
+	LevelBaseline
+	// LevelPipelined adds the synchronization analysis of section 5 and
+	// message pipelining (split-phase accesses, sync motion).
+	LevelPipelined
+	// LevelOneWay further converts barrier-synchronized puts to one-way
+	// stores (Figure 12's third bar).
+	LevelOneWay
+	// LevelUnsafe compiles with an empty delay set (no SC enforcement).
+	// It exists to demonstrate violations; never use it for real runs.
+	LevelUnsafe
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelBlocking:
+		return "blocking"
+	case LevelBaseline:
+		return "baseline"
+	case LevelPipelined:
+		return "pipelined"
+	case LevelOneWay:
+		return "oneway"
+	case LevelUnsafe:
+		return "unsafe"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Options configures compilation.
+type Options struct {
+	// Procs fixes the machine size at compile time (required; the
+	// analyses use it to disambiguate owner-computes subscripts, and runs
+	// must use the same size).
+	Procs int
+	// Level is the optimization level.
+	Level Level
+	// CSE enables the communication-eliminating transformations
+	// (section 7) on top of the level.
+	CSE bool
+	// Exact uses the exponential simple-path search in cycle detection.
+	Exact bool
+	// NoHoist disables initiation back-motion at the pipelined levels
+	// (an ablation knob; hoisting is part of the paper's pipelining).
+	NoHoist bool
+}
+
+// Program is a compiled MiniSplit program.
+type Program struct {
+	Source   string
+	Opts     Options
+	AST      *source.Program
+	Info     *sem.Info
+	Fn       *ir.Fn
+	Analysis *syncanal.Result
+	Target   *target.Prog
+	Codegen  codegen.Stats
+}
+
+// Compile parses, checks, analyzes, and compiles src for a machine of
+// opts.Procs processors.
+func Compile(src string, opts Options) (*Program, error) {
+	if opts.Procs <= 0 {
+		return nil, fmt.Errorf("splitc: Options.Procs must be positive")
+	}
+	ast, err := source.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Check(ast)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := ir.Build(info, ir.BuildOptions{Procs: opts.Procs})
+	if err != nil {
+		return nil, err
+	}
+	analysis := syncanal.Analyze(fn, syncanal.Options{Exact: opts.Exact})
+
+	var cg codegen.Options
+	cg.CSE = opts.CSE
+	switch opts.Level {
+	case LevelBlocking:
+		cg.Delays = analysis.D
+	case LevelBaseline:
+		cg.Delays = analysis.Baseline
+		cg.Pipeline = true
+	case LevelPipelined:
+		cg.Delays = analysis.D
+		cg.Pipeline = true
+		cg.Hoist = !opts.NoHoist
+	case LevelOneWay:
+		cg.Delays = analysis.D
+		cg.Pipeline = true
+		cg.OneWay = true
+		cg.Hoist = !opts.NoHoist
+	case LevelUnsafe:
+		cg.Delays = delay.NewSet(fn)
+		cg.Pipeline = true
+		cg.OneWay = true
+	default:
+		return nil, fmt.Errorf("splitc: unknown level %d", opts.Level)
+	}
+	res := codegen.Generate(fn, cg)
+	return &Program{
+		Source:   src,
+		Opts:     opts,
+		AST:      ast,
+		Info:     info,
+		Fn:       fn,
+		Analysis: analysis,
+		Target:   res.Prog,
+		Codegen:  res.Stats,
+	}, nil
+}
+
+// MustCompile is Compile for tests and examples; it panics on error.
+func MustCompile(src string, opts Options) *Program {
+	p, err := Compile(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Run executes the compiled program on the simulated machine. The machine
+// size must match the compile-time Procs.
+func (p *Program) Run(cfg machine.Config, ropts interp.RunOptions) (*interp.Result, error) {
+	if cfg.Procs != p.Opts.Procs {
+		return nil, fmt.Errorf("splitc: program compiled for %d procs, machine has %d",
+			p.Opts.Procs, cfg.Procs)
+	}
+	return interp.Run(p.Target, cfg, ropts)
+}
+
+// RunSC executes the program's IR under a sequentially consistent random
+// interleaving (the reference semantics).
+func (p *Program) RunSC(seed int64) (*interp.SCResult, error) {
+	return interp.RunSC(p.Fn, interp.SCOptions{Procs: p.Opts.Procs, Seed: seed})
+}
+
+// DelaySummary renders the analysis results (delay-set sizes etc.).
+func (p *Program) DelaySummary() string { return p.Analysis.Summary() }
+
+// TargetText renders the generated split-phase code.
+func (p *Program) TargetText() string { return p.Target.String() }
+
+// IRText renders the mid-level IR.
+func (p *Program) IRText() string { return p.Fn.String() }
