@@ -54,21 +54,35 @@ func runKernel(k apps.Kernel, procs, scale int, lvl splitc.Level, cfg machine.Co
 	return res, nil
 }
 
-// RunFigure12 measures all kernels at all levels.
+// RunFigure12 measures all kernels at all levels. The kernel × level grid
+// fans out across the worker pool (see Workers); cell results land in
+// index-addressed slots and rows are assembled in grid order, so output
+// is identical to a sequential run.
 func RunFigure12(procs, scale int) (*Fig12Result, error) {
 	cfg := machine.CM5(procs)
 	out := &Fig12Result{Procs: procs, Scale: scale, Machine: cfg.Name}
-	for _, k := range apps.All() {
+	kernels := apps.All()
+	nl := len(fig12Levels)
+	cells := make([]*interp.Result, len(kernels)*nl)
+	err := forIndexed(len(cells), func(i int) error {
+		res, err := runKernel(kernels[i/nl], procs, scale, fig12Levels[i%nl], cfg)
+		if err != nil {
+			return err
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range kernels {
 		row := Fig12Row{
 			App:    k.Name,
 			Cycles: map[splitc.Level]float64{},
 			Msgs:   map[splitc.Level]int{},
 		}
-		for _, lvl := range fig12Levels {
-			res, err := runKernel(k, procs, scale, lvl, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for li, lvl := range fig12Levels {
+			res := cells[ki*nl+li]
 			row.Cycles[lvl] = res.Time
 			row.Msgs[lvl] = res.Messages
 		}
@@ -114,14 +128,24 @@ type Fig13Result struct {
 func RunFigure13(procList []int, scale int) (*Fig13Result, error) {
 	k := apps.Epithel()
 	out := &Fig13Result{Scale: scale, App: k.Name}
-	for _, p := range procList {
+	nl := len(fig12Levels)
+	cells := make([]*interp.Result, len(procList)*nl)
+	err := forIndexed(len(cells), func(i int) error {
+		p := procList[i/nl]
+		res, err := runKernel(*apps.ByName(k.Name), p, scale, fig12Levels[i%nl], machine.CM5(p))
+		if err != nil {
+			return err
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range procList {
 		pt := Fig13Point{Procs: p, Cycles: map[splitc.Level]float64{}}
-		for _, lvl := range fig12Levels {
-			res, err := runKernel(*apps.ByName(k.Name), p, scale, lvl, machine.CM5(p))
-			if err != nil {
-				return nil, err
-			}
-			pt.Cycles[lvl] = res.Time
+		for li, lvl := range fig12Levels {
+			pt.Cycles[lvl] = cells[pi*nl+li].Time
 		}
 		out.Points = append(out.Points, pt)
 	}
@@ -232,12 +256,14 @@ type AblationRow struct {
 // contribution of each synchronization construct and of the exact
 // simple-path search.
 func RunDelayAblation(procs, scale int) ([]AblationRow, error) {
-	var out []AblationRow
-	for _, k := range apps.All() {
+	kernels := apps.All()
+	out := make([]AblationRow, len(kernels))
+	err := forIndexed(len(kernels), func(i int) error {
+		k := kernels[i]
 		src := k.Source(procs, scale)
 		full, err := splitc.Compile(src, splitc.Options{Procs: procs, Level: splitc.LevelPipelined})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return fmt.Errorf("%s: %w", k.Name, err)
 		}
 		row := AblationRow{
 			App:       k.Name,
@@ -248,13 +274,17 @@ func RunDelayAblation(procs, scale int) ([]AblationRow, error) {
 		}
 		exact, err := splitc.Compile(src, splitc.Options{Procs: procs, Level: splitc.LevelPipelined, Exact: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.Exact = exact.Analysis.D.Size()
 		row.NoPostWait = ablate(src, procs, "postwait")
 		row.NoBarrier = ablate(src, procs, "barrier")
 		row.NoLocks = ablate(src, procs, "locks")
-		out = append(out, row)
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -301,15 +331,25 @@ type MessageRow struct {
 // (one-way conversion removes the acknowledgement traffic).
 func RunMessageAblation(procs, scale int) ([]MessageRow, error) {
 	cfg := machine.CM5(procs)
-	var out []MessageRow
-	for _, k := range apps.All() {
+	kernels := apps.All()
+	nl := len(fig12Levels)
+	cells := make([]*interp.Result, len(kernels)*nl)
+	err := forIndexed(len(cells), func(i int) error {
+		res, err := runKernel(kernels[i/nl], procs, scale, fig12Levels[i%nl], cfg)
+		if err != nil {
+			return err
+		}
+		cells[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MessageRow, 0, len(kernels))
+	for ki, k := range kernels {
 		row := MessageRow{App: k.Name, Msgs: map[splitc.Level]int{}}
-		for _, lvl := range fig12Levels {
-			res, err := runKernel(k, procs, scale, lvl, cfg)
-			if err != nil {
-				return nil, err
-			}
-			row.Msgs[lvl] = res.Messages
+		for li, lvl := range fig12Levels {
+			row.Msgs[lvl] = cells[ki*nl+li].Messages
 		}
 		out = append(out, row)
 	}
@@ -343,21 +383,27 @@ type codegenStats struct {
 // RunCSEStats compiles every kernel at full optimization and reports what
 // the communication-eliminating transformations did.
 func RunCSEStats(procs, scale int) ([]CSERow, error) {
-	var out []CSERow
-	for _, k := range apps.All() {
+	kernels := apps.All()
+	out := make([]CSERow, len(kernels))
+	err := forIndexed(len(kernels), func(i int) error {
+		k := kernels[i]
 		p, err := splitc.Compile(k.Source(procs, scale), splitc.Options{
 			Procs: procs, Level: splitc.LevelOneWay, CSE: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return fmt.Errorf("%s: %w", k.Name, err)
 		}
 		cs := p.Codegen
-		out = append(out, CSERow{App: k.Name, Stats: codegenStats{
+		out[i] = CSERow{App: k.Name, Stats: codegenStats{
 			GetsEliminated: cs.GetsEliminated, GetsForwarded: cs.GetsForwarded,
 			GetsDead: cs.GetsDead, GetsCached: cs.GetsCached, GetsHoistedLICM: cs.GetsHoistedLICM,
 			PutsEliminated: cs.PutsEliminated, PutsConverted: cs.PutsConverted,
 			InitsHoisted: cs.InitsHoisted, CountersShared: cs.CountersShared,
-		}})
+		}}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,99 @@
+// Machine-readable emission of the experiment results: pscbench -json
+// writes one BENCH_<experiment>.json per table so downstream tooling can
+// track the numbers without scraping the formatted text.
+package bench
+
+import (
+	"encoding/json"
+	"os"
+
+	"repro"
+)
+
+// levelKeysF re-keys a level-indexed map by level name for stable JSON.
+func levelKeysF(m map[splitc.Level]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for l, v := range m {
+		out[l.String()] = v
+	}
+	return out
+}
+
+func levelKeysI(m map[splitc.Level]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for l, v := range m {
+		out[l.String()] = v
+	}
+	return out
+}
+
+// JSON returns the Figure 12 result in a JSON-marshalable shape.
+func (r *Fig12Result) JSON() any {
+	type row struct {
+		App    string             `json:"app"`
+		Cycles map[string]float64 `json:"cycles"`
+		Msgs   map[string]int     `json:"messages"`
+	}
+	rows := make([]row, 0, len(r.Rows))
+	for _, rw := range r.Rows {
+		rows = append(rows, row{App: rw.App, Cycles: levelKeysF(rw.Cycles), Msgs: levelKeysI(rw.Msgs)})
+	}
+	return map[string]any{
+		"experiment": "fig12",
+		"machine":    r.Machine,
+		"procs":      r.Procs,
+		"scale":      r.Scale,
+		"rows":       rows,
+	}
+}
+
+// JSON returns the Figure 13 result in a JSON-marshalable shape.
+func (r *Fig13Result) JSON() any {
+	type point struct {
+		Procs  int                `json:"procs"`
+		Cycles map[string]float64 `json:"cycles"`
+	}
+	pts := make([]point, 0, len(r.Points))
+	for _, pt := range r.Points {
+		pts = append(pts, point{Procs: pt.Procs, Cycles: levelKeysF(pt.Cycles)})
+	}
+	return map[string]any{
+		"experiment": "fig13",
+		"app":        r.App,
+		"scale":      r.Scale,
+		"points":     pts,
+	}
+}
+
+// AblationJSON wraps the delay-set ablation rows with their parameters.
+func AblationJSON(rows []AblationRow, procs, scale int) any {
+	return map[string]any{"experiment": "ablation", "procs": procs, "scale": scale, "rows": rows}
+}
+
+// MessagesJSON wraps the message-count rows with their parameters.
+func MessagesJSON(rows []MessageRow, procs, scale int) any {
+	type row struct {
+		App  string         `json:"app"`
+		Msgs map[string]int `json:"messages"`
+	}
+	out := make([]row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, row{App: r.App, Msgs: levelKeysI(r.Msgs)})
+	}
+	return map[string]any{"experiment": "messages", "procs": procs, "scale": scale, "rows": out}
+}
+
+// CSEJSON wraps the communication-elimination rows with their parameters.
+func CSEJSON(rows []CSERow, procs, scale int) any {
+	return map[string]any{"experiment": "cse", "procs": procs, "scale": scale, "rows": rows}
+}
+
+// WriteJSON writes v as indented JSON to path.
+func WriteJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}

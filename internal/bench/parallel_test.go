@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// withWorkers runs f at a fixed worker count and restores the old value.
+func withWorkers(w int, f func()) {
+	old := Workers
+	Workers = w
+	defer func() { Workers = old }()
+	f()
+}
+
+// TestParallelMatchesSequential is the determinism guarantee: the
+// formatted Figure 12/13 and message tables from a parallel run are
+// byte-identical to a sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	const procs, scale = 8, 1
+
+	var seq12, par12, seq13, par13, seqMsg, parMsg string
+	withWorkers(1, func() {
+		r12, err := RunFigure12(procs, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq12 = r12.Format()
+		r13, err := RunFigure13([]int{1, 2, 4}, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq13 = r13.Format()
+		rows, err := RunMessageAblation(procs, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqMsg = FormatMessages(rows, procs, scale)
+	})
+	withWorkers(0, func() {
+		r12, err := RunFigure12(procs, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par12 = r12.Format()
+		r13, err := RunFigure13([]int{1, 2, 4}, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par13 = r13.Format()
+		rows, err := RunMessageAblation(procs, scale)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parMsg = FormatMessages(rows, procs, scale)
+	})
+
+	if seq12 != par12 {
+		t.Errorf("figure 12 diverges:\nsequential:\n%s\nparallel:\n%s", seq12, par12)
+	}
+	if seq13 != par13 {
+		t.Errorf("figure 13 diverges:\nsequential:\n%s\nparallel:\n%s", seq13, par13)
+	}
+	if seqMsg != parMsg {
+		t.Errorf("message table diverges:\nsequential:\n%s\nparallel:\n%s", seqMsg, parMsg)
+	}
+}
+
+// TestForIndexedCoversAll checks every index runs exactly once at any
+// worker count.
+func TestForIndexedCoversAll(t *testing.T) {
+	for _, w := range []int{1, 0, 3, 64} {
+		withWorkers(w, func() {
+			const n = 100
+			counts := make([]int, n)
+			if err := forIndexed(n, func(i int) error {
+				counts[i]++ // distinct slots: no data race
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+				}
+			}
+		})
+	}
+}
+
+// TestForIndexedLowestError checks the reported failure matches what a
+// sequential left-to-right run would hit first.
+func TestForIndexedLowestError(t *testing.T) {
+	for _, w := range []int{1, 0, 7} {
+		withWorkers(w, func() {
+			err := forIndexed(50, func(i int) error {
+				if i%10 == 3 { // fails at 3, 13, 23, ...
+					return fmt.Errorf("cell %d failed", i)
+				}
+				return nil
+			})
+			want := errors.New("cell 3 failed")
+			if err == nil || err.Error() != want.Error() {
+				t.Fatalf("workers=%d: err = %v, want %v", w, err, want)
+			}
+		})
+	}
+}

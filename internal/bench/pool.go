@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the fan-out of the grid experiments (Figures 12/13 and the
+// ablation tables). Zero, the default, means one worker per available CPU
+// (GOMAXPROCS); 1 forces sequential execution. The pscbench driver maps
+// its -parallel flag onto this.
+//
+// Parallel runs are deterministic: every grid cell is an independent
+// compile+simulate with its own RNG, results land in index-addressed
+// slots and are assembled in grid order, and the reported error is the
+// lowest-index failure — exactly what a sequential left-to-right run
+// produces. Output is therefore byte-identical at any worker count.
+var Workers = 0
+
+func workerCount(n int) int {
+	w := Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forIndexed runs fn(i) for every i in [0,n) on a bounded worker pool.
+// Workers claim indices from an atomic counter, so cells start in index
+// order; the caller's fn writes results into its own index-addressed
+// slots. All cells run even when one fails (the grid is finite and each
+// cell is cheap); the lowest-index error is returned.
+func forIndexed(n int, fn func(i int) error) error {
+	w := workerCount(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

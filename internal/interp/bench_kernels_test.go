@@ -1,0 +1,58 @@
+package interp_test
+
+// Micro-benchmarks over single kernel simulations, tracking the
+// interpreter's per-event cost (ns/op) and allocation behavior
+// (allocs/op). BENCH_interp.json records the before/after trajectory of
+// the closure-free event loop and symbol-interned memory.
+//
+// These live in an external test package because the kernel sources come
+// from internal/apps, which imports interp for its result validators.
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/codegen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/syncanal"
+	"repro/internal/target"
+)
+
+// compileKernel lowers one kernel at the full optimization stack for a
+// small machine, mirroring what the Figure 12 grid simulates per cell.
+func compileKernel(tb testing.TB, name string, procs int) *target.Prog {
+	tb.Helper()
+	k := apps.ByName(name)
+	if k == nil {
+		tb.Fatalf("unknown kernel %s", name)
+	}
+	src := k.Source(procs, 1)
+	fn := ir.MustBuild(src, ir.BuildOptions{Procs: procs})
+	res := syncanal.Analyze(fn, syncanal.Options{})
+	return codegen.Generate(fn, codegen.Options{
+		Delays: res.D, Pipeline: true, OneWay: true, Hoist: true,
+	}).Prog
+}
+
+func benchInterpKernel(b *testing.B, name string) {
+	const procs = 8
+	prog := compileKernel(b, name, procs)
+	cfg := machine.CM5(procs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := interp.Run(prog, cfg, interp.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpEM3D simulates one EM3D time-stepping run (barrier-phased
+// bipartite graph updates) on 8 simulated CM-5 processors.
+func BenchmarkInterpEM3D(b *testing.B) { benchInterpKernel(b, "EM3D") }
+
+// BenchmarkInterpOcean simulates one Ocean run (stencil relaxation) on 8
+// simulated CM-5 processors.
+func BenchmarkInterpOcean(b *testing.B) { benchInterpKernel(b, "Ocean") }

@@ -107,16 +107,16 @@ func newEnumState(fn *ir.Fn, procs int) *scState {
 func cloneState(st *scState) *scState {
 	out := &scState{
 		fn:    st.fn,
-		mem:   &Memory{data: map[*sem.Symbol][]ir.Value{}, procs: st.mem.procs},
+		mem:   &Memory{data: make([][]ir.Value, len(st.mem.data)), syms: st.mem.syms, procs: st.mem.procs},
 		posts: map[*sem.Symbol][]bool{},
 		locks: map[*sem.Symbol][]int{},
 		bar:   map[int]bool{},
 		barID: st.barID,
 	}
-	for sym, vals := range st.mem.data {
+	for i, vals := range st.mem.data {
 		cp := make([]ir.Value, len(vals))
 		copy(cp, vals)
-		out.mem.data[sym] = cp
+		out.mem.data[i] = cp
 	}
 	for sym, flags := range st.posts {
 		cp := make([]bool, len(flags))
@@ -156,16 +156,16 @@ func cloneState(st *scState) *scState {
 func encodeState(st *scState) string {
 	var sb strings.Builder
 	// Memory: deterministic symbol order by name.
-	names := make([]string, 0, len(st.mem.data))
+	names := make([]string, 0, len(st.mem.syms))
 	bySym := map[string]*sem.Symbol{}
-	for sym := range st.mem.data {
+	for _, sym := range st.mem.syms {
 		names = append(names, sym.Name)
 		bySym[sym.Name] = sym
 	}
 	sort.Strings(names)
 	for _, n := range names {
 		sb.WriteString(n)
-		for _, v := range st.mem.data[bySym[n]] {
+		for _, v := range st.mem.data[bySym[n].ID] {
 			fmt.Fprintf(&sb, ",%s", v.String())
 		}
 		sb.WriteByte(';')

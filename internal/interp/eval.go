@@ -157,15 +157,22 @@ func evalInt(e ir.Expr, en *env, ctx evalCtx) (int64, error) {
 	return v.I, nil
 }
 
-// Memory is the shared address space.
+// Memory is the shared address space. Storage is indexed by the dense
+// symbol IDs the checker interns (Symbol.ID), so the simulator's per-event
+// reads and writes are slice lookups rather than map probes.
 type Memory struct {
-	data  map[*sem.Symbol][]ir.Value
+	data  [][]ir.Value  // indexed by Symbol.ID
+	syms  []*sem.Symbol // parallel to data, declaration order
 	procs int
 }
 
 // NewMemory allocates and initializes the shared space for a program.
 func NewMemory(info *sem.Info, procs int) *Memory {
-	m := &Memory{data: make(map[*sem.Symbol][]ir.Value), procs: procs}
+	m := &Memory{
+		data:  make([][]ir.Value, len(info.Shared)),
+		syms:  info.Shared,
+		procs: procs,
+	}
 	for _, s := range info.Shared {
 		vals := make([]ir.Value, s.Size)
 		for i := range vals {
@@ -175,7 +182,7 @@ func NewMemory(info *sem.Info, procs int) *Memory {
 				vals[i] = ir.IntVal(s.Init.I)
 			}
 		}
-		m.data[s] = vals
+		m.data[s.ID] = vals
 	}
 	return m
 }
@@ -189,10 +196,10 @@ func (m *Memory) CheckIndex(sym *sem.Symbol, idx int64) error {
 }
 
 // Read returns the value of sym[idx].
-func (m *Memory) Read(sym *sem.Symbol, idx int64) ir.Value { return m.data[sym][idx] }
+func (m *Memory) Read(sym *sem.Symbol, idx int64) ir.Value { return m.data[sym.ID][idx] }
 
 // Write stores v into sym[idx].
-func (m *Memory) Write(sym *sem.Symbol, idx int64, v ir.Value) { m.data[sym][idx] = v }
+func (m *Memory) Write(sym *sem.Symbol, idx int64, v ir.Value) { m.data[sym.ID][idx] = v }
 
 // Owner returns the processor owning sym[idx]: the declared owner for
 // scalars, the block owner for blocked arrays, idx mod P for cyclic ones.
@@ -213,7 +220,8 @@ func (m *Memory) Owner(sym *sem.Symbol, idx int64) int {
 // comparison: symbol name to values.
 func (m *Memory) Snapshot() map[string][]ir.Value {
 	out := make(map[string][]ir.Value, len(m.data))
-	for sym, vals := range m.data {
+	for _, sym := range m.syms {
+		vals := m.data[sym.ID]
 		cp := make([]ir.Value, len(vals))
 		copy(cp, vals)
 		out[sym.Name] = cp

@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/delay"
 	"repro/internal/ir"
@@ -62,10 +61,38 @@ type Result struct {
 // TotalMessages sums per-message network traffic.
 func (r *Result) TotalMessages() int { return r.Messages }
 
+// evKind discriminates the simulator's event types. Events used to be
+// closures (`run func()`), which cost one heap allocation per event plus
+// an indirect call; the typed struct dispatched by switch keeps the hot
+// loop allocation-free (events are recycled through a free list).
+type evKind uint8
+
+const (
+	evResume   evKind = iota // resume a blocked/starting processor
+	evGetRead                // sample memory at arrival; deposit in partner
+	evGetLand                // write the sampled value into the destination
+	evMemWrite               // apply a put/store write at its arrival time
+	evPost                   // post handler at the event object's manager
+	evLockReq                // lock request handler at the lock's manager
+	evLockRel                // unlock handler at the lock's manager
+)
+
+// event is one scheduled simulator action: a kind, the processor it
+// concerns, and the operation's payload. Fields beyond t/seq/kind are
+// meaningful only for the kinds that use them.
 type event struct {
-	t   float64
-	seq int
-	run func()
+	t       float64
+	seq     int
+	kind    evKind
+	p       *proc       // evResume, evGetLand, evPost, evLockReq, evLockRel
+	sym     *sem.Symbol // evGetRead, evMemWrite
+	idx     int64       // evGetRead, evMemWrite
+	dst     ir.LocalID  // evGetLand
+	val     ir.Value    // evGetRead's sample target, evMemWrite's payload
+	partner *event      // evGetRead deposits the sample into partner.val
+	ev      *eventObj   // evPost
+	lk      *lockObj    // evLockReq, evLockRel
+	acc     *ir.Access  // evPost (diagnostics)
 }
 
 type eventHeap []*event
@@ -129,7 +156,8 @@ type lockObj struct {
 }
 
 type barrierState struct {
-	arrived map[int]float64
+	arrived []float64 // per-proc arrival time; -1 when not arrived
+	n       int       // processors arrived in the open episode
 	accID   int
 	release float64
 }
@@ -142,10 +170,16 @@ type sim struct {
 	queue eventHeap
 	seq   int
 	mem   *Memory
-	evs   map[*sem.Symbol][]eventObj
-	lks   map[*sem.Symbol][]lockObj
+	// evs and lks are indexed by the checker's dense per-category symbol
+	// IDs (Symbol.ID), replacing per-access map lookups.
+	evs   [][]eventObj
+	lks   [][]lockObj
 	procs []*proc
 	bar   barrierState
+	// free recycles popped events; slab bump-allocates fresh ones in
+	// chunks so steady state needs no per-event allocation.
+	free []*event
+	slab []event
 	// delayPreds[b] lists delay predecessors of access b (verification).
 	delayPreds [][]int
 	// niBusy[p] is the time processor p's network interface finishes its
@@ -166,14 +200,16 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 		opts.MaxEvents = 50_000_000
 	}
 	s := &sim{
-		prog: prog,
-		cfg:  cfg,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
-		mem:  NewMemory(prog.Fn.Info, cfg.Procs),
-		evs:  make(map[*sem.Symbol][]eventObj),
-		lks:  make(map[*sem.Symbol][]lockObj),
-		bar:  barrierState{arrived: map[int]float64{}, accID: -1},
+		prog:  prog,
+		cfg:   cfg,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		mem:   NewMemory(prog.Fn.Info, cfg.Procs),
+		queue: make(eventHeap, 0, 4*cfg.Procs),
+		bar:   barrierState{arrived: make([]float64, cfg.Procs), accID: -1},
+	}
+	for i := range s.bar.arrived {
+		s.bar.arrived[i] = -1
 	}
 	s.niBusy = make([]float64, cfg.Procs)
 	if opts.VerifyDelays != nil {
@@ -183,12 +219,15 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 			s.delayPreds[pr.B] = append(s.delayPreds[pr.B], pr.A)
 		}
 	}
+	s.evs = make([][]eventObj, len(prog.Fn.Info.Events))
 	for _, sym := range prog.Fn.Info.Events {
-		s.evs[sym] = make([]eventObj, sym.Size)
+		s.evs[sym.ID] = make([]eventObj, sym.Size)
 	}
+	s.lks = make([][]lockObj, len(prog.Fn.Info.Locks))
 	for _, sym := range prog.Fn.Info.Locks {
-		s.lks[sym] = make([]lockObj, sym.Size)
+		s.lks[sym.ID] = make([]lockObj, sym.Size)
 	}
+	s.procs = make([]*proc, 0, cfg.Procs)
 	for p := 0; p < cfg.Procs; p++ {
 		pr := &proc{
 			id:   p,
@@ -203,7 +242,7 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 			}
 		}
 		s.procs = append(s.procs, pr)
-		s.schedule(0, func() { s.resume(pr) })
+		s.scheduleResume(0, pr)
 	}
 	for len(s.queue) > 0 && s.err == nil {
 		s.nEv++
@@ -215,7 +254,8 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 		if e.t > s.last {
 			s.last = e.t
 		}
-		e.run()
+		s.dispatch(e)
+		s.free = append(s.free, e)
 	}
 	if s.err != nil {
 		return nil, s.err
@@ -241,9 +281,52 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 	return res, nil
 }
 
-func (s *sim) schedule(t float64, run func()) {
+// newEvent hands out a scheduled event: recycled from the free list when
+// possible, bump-allocated from the slab otherwise. Callers fill in the
+// payload fields after the call; t, seq, and kind are already set and the
+// event is already in the queue (heap order only consults t and seq).
+func (s *sim) newEvent(t float64, kind evKind) *event {
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = event{}
+	} else {
+		if len(s.slab) == 0 {
+			s.slab = make([]event, 256)
+		}
+		e = &s.slab[0]
+		s.slab = s.slab[1:]
+	}
 	s.seq++
-	heap.Push(&s.queue, &event{t: t, seq: s.seq, run: run})
+	e.t, e.seq, e.kind = t, s.seq, kind
+	heap.Push(&s.queue, e)
+	return e
+}
+
+func (s *sim) scheduleResume(t float64, p *proc) {
+	e := s.newEvent(t, evResume)
+	e.p = p
+}
+
+// dispatch runs one popped event.
+func (s *sim) dispatch(e *event) {
+	switch e.kind {
+	case evResume:
+		s.resume(e.p)
+	case evGetRead:
+		e.partner.val = s.mem.Read(e.sym, e.idx)
+	case evGetLand:
+		e.p.env.scalars[e.dst] = e.val
+	case evMemWrite:
+		s.mem.Write(e.sym, e.idx, e.val)
+	case evPost:
+		s.postArrive(e)
+	case evLockReq:
+		s.lockArrive(e)
+	case evLockRel:
+		s.unlockArrive(e)
+	}
 }
 
 func (s *sim) fail(p *proc, format string, args ...any) {
@@ -440,11 +523,12 @@ func (s *sim) issueGet(p *proc, g *target.Get) {
 	s.recordCompletion(p, g.Acc.ID, completion)
 	// Both events are scheduled now so their sequence numbers precede any
 	// resume event a later sync_ctr schedules at the completion time: the
-	// value must land in the local before the processor proceeds.
-	dst := g.Dst
-	var sampled ir.Value
-	s.schedule(arrival, func() { sampled = s.mem.Read(sym, idx) })
-	s.schedule(completion, func() { p.env.scalars[dst] = sampled })
+	// value must land in the local before the processor proceeds. The read
+	// deposits its sample into the land event via the partner link.
+	read := s.newEvent(arrival, evGetRead)
+	land := s.newEvent(completion, evGetLand)
+	read.sym, read.idx, read.partner = sym, idx, land
+	land.p, land.dst = p, g.Dst
 }
 
 func (s *sim) issuePut(p *proc, pt *target.Put) {
@@ -474,7 +558,8 @@ func (s *sim) issuePut(p *proc, pt *target.Put) {
 	st := &p.ctrs[pt.Ctr]
 	st.pending = append(st.pending, pendingOp{t: completion, ack: owner != p.id})
 	s.recordCompletion(p, pt.Acc.ID, completion)
-	s.schedule(arrival, func() { s.mem.Write(sym, idx, v) })
+	w := s.newEvent(arrival, evMemWrite)
+	w.sym, w.idx, w.val = sym, idx, v
 }
 
 func (s *sim) issueStore(p *proc, st *target.Store) {
@@ -503,7 +588,8 @@ func (s *sim) issueStore(p *proc, st *target.Store) {
 	if arrival > p.storeMax {
 		p.storeMax = arrival
 	}
-	s.schedule(arrival, func() { s.mem.Write(sym, idx, v) })
+	w := s.newEvent(arrival, evMemWrite)
+	w.sym, w.idx, w.val = sym, idx, v
 }
 
 // syncCtr executes a sync_ctr; false means p yielded to the event loop.
@@ -524,11 +610,18 @@ func (s *sim) syncCtr(p *proc, sc *target.SyncCtr) bool {
 				wake = op.t
 			}
 		}
-		s.schedule(wake, func() { s.resume(p) })
+		s.scheduleResume(wake, p)
 		return false
 	}
 	p.waiting = false
-	sort.Slice(st.pending, func(i, j int) bool { return st.pending[i].t < st.pending[j].t })
+	// Insertion sort by completion time: pending lists are short (a few
+	// outstanding ops per counter) and this avoids sort.Slice's closure.
+	ops := st.pending
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j].t < ops[j-1].t; j-- {
+			ops[j], ops[j-1] = ops[j-1], ops[j]
+		}
+	}
 	for _, op := range st.pending {
 		if op.t > p.time {
 			p.time = op.t
@@ -575,7 +668,7 @@ func (s *sim) eventAt(p *proc, acc *ir.Access) (*eventObj, bool) {
 		}
 		idx = v
 	}
-	arr := s.evs[acc.Sym]
+	arr := s.evs[acc.Sym.ID]
 	if idx < 0 || idx >= int64(len(arr)) {
 		s.fail(p, "event index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
 		return nil, false
@@ -593,7 +686,7 @@ func (s *sim) lockAt(p *proc, acc *ir.Access) (*lockObj, bool) {
 		}
 		idx = v
 	}
-	arr := s.lks[acc.Sym]
+	arr := s.lks[acc.Sym.ID]
 	if idx < 0 || idx >= int64(len(arr)) {
 		s.fail(p, "lock index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
 		return nil, false
@@ -610,22 +703,27 @@ func (s *sim) post(p *proc, acc *ir.Access) bool {
 	p.stats.PostsWaits++
 	s.msgs++
 	arrival := p.time + s.wire() + s.cfg.RecvOv
-	s.schedule(arrival, func() {
-		if ev.posted {
-			s.fail(p, "event %s posted twice (MiniSplit events are single-post)", acc.Sym.Name)
-			return
-		}
-		ev.posted = true
-		ev.arrival = arrival
-		for _, w := range ev.waiters {
-			waiter := w
-			s.msgs++
-			s.schedule(arrival+s.wire(), func() { s.resume(waiter) })
-		}
-		ev.waiters = nil
-	})
+	e := s.newEvent(arrival, evPost)
+	e.p, e.ev, e.acc = p, ev, acc
 	p.idx++
 	return true
+}
+
+// postArrive handles a post message reaching the event's manager: flag the
+// object and wake any queued waiters.
+func (s *sim) postArrive(e *event) {
+	ev := e.ev
+	if ev.posted {
+		s.fail(e.p, "event %s posted twice (MiniSplit events are single-post)", e.acc.Sym.Name)
+		return
+	}
+	ev.posted = true
+	ev.arrival = e.t
+	for _, w := range ev.waiters {
+		s.msgs++
+		s.scheduleResume(e.t+s.wire(), w)
+	}
+	ev.waiters = ev.waiters[:0]
 }
 
 func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
@@ -641,7 +739,7 @@ func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
 			if t := ev.arrival + s.wire(); t > wake {
 				wake = t
 			}
-			s.schedule(wake, func() { s.resume(p) })
+			s.scheduleResume(wake, p)
 		} else {
 			ev.waiters = append(ev.waiters, p)
 		}
@@ -671,20 +769,8 @@ func (s *sim) lock(p *proc, acc *ir.Access) bool {
 		p.charge(s.cfg.SendOv)
 		s.msgs++
 		reqArrival := p.time + s.wire() + s.cfg.RecvOv
-		s.schedule(reqArrival, func() {
-			if !lk.held {
-				lk.held = true
-				grant := reqArrival
-				if lk.free > grant {
-					grant = lk.free
-				}
-				s.msgs++
-				p.wakeTime = grant + s.wire()
-				s.schedule(p.wakeTime, func() { s.resume(p) })
-			} else {
-				lk.queue = append(lk.queue, p)
-			}
-		})
+		e := s.newEvent(reqArrival, evLockReq)
+		e.p, e.lk = p, lk
 		return false
 	}
 	p.waiting = false
@@ -705,24 +791,48 @@ func (s *sim) unlock(p *proc, acc *ir.Access) bool {
 	p.stats.LockOps++
 	s.msgs++
 	relArrival := p.time + s.wire() + s.cfg.RecvOv
-	s.schedule(relArrival, func() {
-		if !lk.held {
-			s.fail(p, "unlock of a lock that is not held")
-			return
-		}
-		if len(lk.queue) > 0 {
-			next := lk.queue[0]
-			lk.queue = lk.queue[1:]
-			s.msgs++
-			next.wakeTime = relArrival + s.wire()
-			s.schedule(next.wakeTime, func() { s.resume(next) })
-		} else {
-			lk.held = false
-			lk.free = relArrival
-		}
-	})
+	e := s.newEvent(relArrival, evLockRel)
+	e.p, e.lk = p, lk
 	p.idx++
 	return true
+}
+
+// lockArrive handles a lock request reaching the lock's manager: grant
+// immediately when free, queue otherwise.
+func (s *sim) lockArrive(e *event) {
+	lk, p := e.lk, e.p
+	if !lk.held {
+		lk.held = true
+		grant := e.t
+		if lk.free > grant {
+			grant = lk.free
+		}
+		s.msgs++
+		p.wakeTime = grant + s.wire()
+		s.scheduleResume(p.wakeTime, p)
+	} else {
+		lk.queue = append(lk.queue, p)
+	}
+}
+
+// unlockArrive handles a release reaching the manager: hand off to the
+// next queued requester or mark the lock free.
+func (s *sim) unlockArrive(e *event) {
+	lk := e.lk
+	if !lk.held {
+		s.fail(e.p, "unlock of a lock that is not held")
+		return
+	}
+	if len(lk.queue) > 0 {
+		next := lk.queue[0]
+		lk.queue = lk.queue[1:]
+		s.msgs++
+		next.wakeTime = e.t + s.wire()
+		s.scheduleResume(next.wakeTime, next)
+	} else {
+		lk.held = false
+		lk.free = e.t
+	}
 }
 
 func (s *sim) barrier(p *proc, acc *ir.Access) bool {
@@ -738,7 +848,7 @@ func (s *sim) barrier(p *proc, acc *ir.Access) bool {
 			s.fail(p, "barrier misalignment: a%d vs a%d", acc.ID, s.bar.accID)
 			return false
 		}
-		if _, dup := s.bar.arrived[p.id]; dup {
+		if s.bar.arrived[p.id] >= 0 {
 			s.fail(p, "proc re-entered an open barrier episode")
 			return false
 		}
@@ -747,7 +857,8 @@ func (s *sim) barrier(p *proc, acc *ir.Access) bool {
 			arrive = p.storeMax
 		}
 		s.bar.arrived[p.id] = arrive
-		if len(s.bar.arrived) == s.cfg.Procs {
+		s.bar.n++
+		if s.bar.n == s.cfg.Procs {
 			release := 0.0
 			for _, t := range s.bar.arrived {
 				if t > release {
@@ -756,14 +867,14 @@ func (s *sim) barrier(p *proc, acc *ir.Access) bool {
 			}
 			release += s.cfg.BarrierCost
 			s.bar.release = release
-			procsCopy := make([]*proc, 0, s.cfg.Procs)
-			procsCopy = append(procsCopy, s.procs...)
-			s.bar.arrived = map[int]float64{}
+			for i := range s.bar.arrived {
+				s.bar.arrived[i] = -1
+			}
+			s.bar.n = 0
 			s.bar.accID = -1
-			for _, w := range procsCopy {
-				waiter := w
-				waiter.wakeTime = release
-				s.schedule(release, func() { s.resume(waiter) })
+			for _, w := range s.procs {
+				w.wakeTime = release
+				s.scheduleResume(release, w)
 			}
 		}
 		return false

@@ -45,6 +45,11 @@ func (k SymKind) String() string {
 
 // Symbol is a resolved program entity.
 type Symbol struct {
+	// ID is a dense index interning the symbol within its category
+	// (position in Info.Shared, Info.Events, or Info.Locks). The
+	// simulator's hot path uses it to replace map lookups with slice
+	// indexing. Locals always have ID 0.
+	ID     int
 	Name   string
 	Kind   SymKind
 	Type   source.Type   // element type for arrays; TypeInt for events/locks
@@ -163,7 +168,22 @@ func Check(prog *source.Program) (*Info, error) {
 	if err := c.checkNoRecursion(prog); err != nil {
 		return nil, err
 	}
+	c.info.internSymbols()
 	return c.info, nil
+}
+
+// internSymbols assigns each shared/event/lock symbol its dense per-category
+// ID (its position in the declaration-ordered slice).
+func (in *Info) internSymbols() {
+	for i, s := range in.Shared {
+		s.ID = i
+	}
+	for i, s := range in.Events {
+		s.ID = i
+	}
+	for i, s := range in.Locks {
+		s.ID = i
+	}
 }
 
 func (c *checker) errorf(pos source.Pos, format string, args ...any) {

@@ -1,0 +1,267 @@
+// Package target defines the split-phase target IR the code generator
+// lowers to and the simulator executes (section 6 of the paper).
+//
+// A target program mirrors the mid-level IR's control-flow graph, but every
+// blocking shared access has been replaced by a split-phase operation:
+//
+//   - Get initiates a remote read into a local; the value is not valid
+//     until a SyncCtr on the get's counter executes.
+//   - Put initiates an acknowledged remote write; a SyncCtr on its counter
+//     waits for the acknowledgement.
+//   - Store is a one-way (unacknowledged) remote write, produced by the
+//     two-way-to-one-way conversion; barriers drain outstanding stores.
+//   - SyncCtr blocks until every outstanding operation on its
+//     synchronizing counter has completed.
+//   - Wrap carries an IR statement through unchanged (local computation,
+//     print, and the post/wait/lock/unlock/barrier synchronization ops).
+//
+// Counters are small dense integers allocated by the code generator;
+// several accesses may share one counter when their syncs coincide
+// (Split-C's "new or reused" synchronizing counters).
+package target
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Ctr names a synchronizing counter.
+type Ctr int
+
+// String renders the counter as cN.
+func (c Ctr) String() string { return fmt.Sprintf("c%d", int(c)) }
+
+// Stmt is a target statement.
+type Stmt interface{ stmtNode() }
+
+// Get initiates a split-phase read of Acc into the local Dst, tracked by
+// the synchronizing counter Ctr.
+type Get struct {
+	Dst ir.LocalID
+	Acc *ir.Access
+	Ctr Ctr
+}
+
+// Put initiates a split-phase acknowledged write of Src to Acc, tracked by
+// the synchronizing counter Ctr.
+type Put struct {
+	Acc *ir.Access
+	Src ir.Expr
+	Ctr Ctr
+}
+
+// Store is a one-way unacknowledged write of Src to Acc. Its completion is
+// observed only through barriers, which drain outstanding stores.
+type Store struct {
+	Acc *ir.Access
+	Src ir.Expr
+}
+
+// SyncCtr waits until all outstanding operations on Ctr have completed.
+type SyncCtr struct {
+	Ctr Ctr
+}
+
+// Wrap carries an IR statement through lowering unchanged.
+type Wrap struct {
+	S ir.Stmt
+}
+
+func (*Get) stmtNode()     {}
+func (*Put) stmtNode()     {}
+func (*Store) stmtNode()   {}
+func (*SyncCtr) stmtNode() {}
+func (*Wrap) stmtNode()    {}
+
+// Term is a basic-block terminator.
+type Term interface{ termNode() }
+
+// Jump transfers control unconditionally.
+type Jump struct{ To *Block }
+
+// Branch transfers control on a condition.
+type Branch struct {
+	Cond ir.Expr
+	Then *Block
+	Else *Block
+}
+
+// Ret ends the program on this processor.
+type Ret struct{}
+
+func (*Jump) termNode()   {}
+func (*Branch) termNode() {}
+func (*Ret) termNode()    {}
+
+// Block is a basic block of target statements.
+type Block struct {
+	ID    int
+	Stmts []Stmt
+	Term  Term
+}
+
+// Succs returns the block's successors.
+func (b *Block) Succs() []*Block {
+	switch t := b.Term.(type) {
+	case *Jump:
+		return []*Block{t.To}
+	case *Branch:
+		if t.Then == t.Else {
+			return []*Block{t.Then}
+		}
+		return []*Block{t.Then, t.Else}
+	default:
+		return nil
+	}
+}
+
+// Prog is a compiled split-phase program: the target CFG plus the number
+// of synchronizing counters it uses. Fn is the IR function it was lowered
+// from (for local names, access records, and shared-symbol layout).
+type Prog struct {
+	Fn       *ir.Fn
+	Blocks   []*Block
+	Counters int
+}
+
+// NewBlock appends a fresh empty block with the given ID and returns it.
+// The code generator mirrors the IR CFG, so IDs equal slice positions.
+func (p *Prog) NewBlock(id int) *Block {
+	b := &Block{ID: id}
+	p.Blocks = append(p.Blocks, b)
+	return b
+}
+
+// Stats counts a program's statements by kind.
+type Stats struct {
+	Gets   int
+	Puts   int
+	Stores int
+	Syncs  int
+	Wraps  int
+}
+
+// CollectStats tallies the program's statements.
+func (p *Prog) CollectStats() Stats {
+	var st Stats
+	for _, b := range p.Blocks {
+		for _, s := range b.Stmts {
+			switch s.(type) {
+			case *Get:
+				st.Gets++
+			case *Put:
+				st.Puts++
+			case *Store:
+				st.Stores++
+			case *SyncCtr:
+				st.Syncs++
+			case *Wrap:
+				st.Wraps++
+			}
+		}
+	}
+	return st
+}
+
+// String renders the whole program.
+func (p *Prog) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "target %s (counters=%d)\n", p.Fn.Name, p.Counters)
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for _, s := range b.Stmts {
+			fmt.Fprintf(&sb, "    %s\n", p.StmtString(s))
+		}
+		switch t := b.Term.(type) {
+		case *Jump:
+			fmt.Fprintf(&sb, "    jump b%d\n", t.To.ID)
+		case *Branch:
+			fmt.Fprintf(&sb, "    branch %s ? b%d : b%d\n",
+				p.Fn.ExprString(t.Cond), t.Then.ID, t.Else.ID)
+		case *Ret:
+			sb.WriteString("    ret\n")
+		case nil:
+			sb.WriteString("    <no terminator>\n")
+		}
+	}
+	return sb.String()
+}
+
+// StmtString renders one statement, e.g. "get_ctr t1 = X[i], c0    ; a3".
+func (p *Prog) StmtString(s Stmt) string {
+	fn := p.Fn
+	switch s := s.(type) {
+	case *Get:
+		return fmt.Sprintf("get_ctr %s = %s, %s    ; a%d",
+			localName(fn, s.Dst), refString(fn, s.Acc), s.Ctr, s.Acc.ID)
+	case *Put:
+		return fmt.Sprintf("put_ctr %s = %s, %s    ; a%d",
+			refString(fn, s.Acc), fn.ExprString(s.Src), s.Ctr, s.Acc.ID)
+	case *Store:
+		return fmt.Sprintf("store %s = %s    ; a%d",
+			refString(fn, s.Acc), fn.ExprString(s.Src), s.Acc.ID)
+	case *SyncCtr:
+		return fmt.Sprintf("sync_ctr %s", s.Ctr)
+	case *Wrap:
+		return fn.StmtString(s.S)
+	default:
+		return fmt.Sprintf("?stmt %T", s)
+	}
+}
+
+// refString renders a shared-access reference.
+func refString(fn *ir.Fn, a *ir.Access) string {
+	if a.Sym == nil {
+		return ""
+	}
+	if a.Index != nil {
+		return fmt.Sprintf("%s[%s]", a.Sym.Name, fn.ExprString(a.Index))
+	}
+	return a.Sym.Name
+}
+
+func localName(fn *ir.Fn, id ir.LocalID) string {
+	if int(id) < len(fn.Locals) {
+		return fn.Locals[id].Name
+	}
+	return fmt.Sprintf("l%d", id)
+}
+
+// Validate checks structural invariants: every block has a terminator,
+// block IDs match their positions, and every counter reference lies in
+// [0, Counters). The code generator's output must always validate.
+func (p *Prog) Validate() error {
+	checkCtr := func(c Ctr, where string) error {
+		if int(c) < 0 || int(c) >= p.Counters {
+			return fmt.Errorf("target: %s uses counter %s outside [0,%d)", where, c, p.Counters)
+		}
+		return nil
+	}
+	for i, b := range p.Blocks {
+		if b.ID != i {
+			return fmt.Errorf("target: block at position %d has ID %d", i, b.ID)
+		}
+		if b.Term == nil {
+			return fmt.Errorf("target: block b%d has no terminator", b.ID)
+		}
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *Get:
+				if err := checkCtr(s.Ctr, "get"); err != nil {
+					return err
+				}
+			case *Put:
+				if err := checkCtr(s.Ctr, "put"); err != nil {
+					return err
+				}
+			case *SyncCtr:
+				if err := checkCtr(s.Ctr, "sync_ctr"); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

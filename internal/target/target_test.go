@@ -1,0 +1,184 @@
+package target
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// buildFn compiles a small program to get real accesses and locals to
+// hang target statements on.
+func buildFn(t *testing.T) *ir.Fn {
+	t.Helper()
+	return ir.MustBuild(`
+shared int X;
+shared int A[16];
+func main() {
+    local int v = X;
+    A[MYPROC] = v + 1;
+}
+`, ir.BuildOptions{Procs: 4})
+}
+
+// accessOf finds the first access of the given kind.
+func accessOf(t *testing.T, fn *ir.Fn, kind ir.AccessKind) *ir.Access {
+	t.Helper()
+	for _, a := range fn.Accesses {
+		if a.Kind == kind {
+			return a
+		}
+	}
+	t.Fatalf("no %s access in test program", kind)
+	return nil
+}
+
+func TestNewBlockAssignsIDs(t *testing.T) {
+	p := &Prog{}
+	for i := 0; i < 3; i++ {
+		b := p.NewBlock(i)
+		if b.ID != i {
+			t.Errorf("block %d has ID %d", i, b.ID)
+		}
+	}
+	if len(p.Blocks) != 3 {
+		t.Fatalf("Blocks = %d, want 3", len(p.Blocks))
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	p := &Prog{}
+	b0, b1, b2 := p.NewBlock(0), p.NewBlock(1), p.NewBlock(2)
+	b0.Term = &Branch{Cond: &ir.Const{Val: ir.IntVal(1)}, Then: b1, Else: b2}
+	b1.Term = &Jump{To: b2}
+	b2.Term = &Ret{}
+
+	if s := b0.Succs(); len(s) != 2 || s[0] != b1 || s[1] != b2 {
+		t.Errorf("branch succs = %v", s)
+	}
+	if s := b1.Succs(); len(s) != 1 || s[0] != b2 {
+		t.Errorf("jump succs = %v", s)
+	}
+	if s := b2.Succs(); s != nil {
+		t.Errorf("ret succs = %v", s)
+	}
+	// A degenerate branch with equal arms has one successor.
+	b0.Term = &Branch{Cond: &ir.Const{Val: ir.IntVal(1)}, Then: b1, Else: b1}
+	if s := b0.Succs(); len(s) != 1 || s[0] != b1 {
+		t.Errorf("degenerate branch succs = %v", s)
+	}
+}
+
+func TestCtrString(t *testing.T) {
+	if got := Ctr(7).String(); got != "c7" {
+		t.Errorf("Ctr(7) = %q, want %q", got, "c7")
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	fn := buildFn(t)
+	read := accessOf(t, fn, ir.AccRead)   // X
+	write := accessOf(t, fn, ir.AccWrite) // A[MYPROC]
+	p := &Prog{Fn: fn, Counters: 2}
+
+	get := &Get{Dst: 0, Acc: read, Ctr: 0}
+	gs := p.StmtString(get)
+	if !strings.HasPrefix(gs, "get_ctr ") || !strings.Contains(gs, ", c0") {
+		t.Errorf("get renders %q", gs)
+	}
+	if !strings.Contains(gs, "X") {
+		t.Errorf("get should name the symbol: %q", gs)
+	}
+
+	put := &Put{Acc: write, Src: &ir.Const{Val: ir.IntVal(3)}, Ctr: 1}
+	ps := p.StmtString(put)
+	if !strings.HasPrefix(ps, "put_ctr A[") || !strings.Contains(ps, ", c1") {
+		t.Errorf("put renders %q", ps)
+	}
+
+	st := &Store{Acc: write, Src: &ir.Const{Val: ir.IntVal(3)}}
+	ss := p.StmtString(st)
+	if !strings.HasPrefix(ss, "store A[") {
+		t.Errorf("store renders %q", ss)
+	}
+
+	sy := p.StmtString(&SyncCtr{Ctr: 1})
+	if sy != "sync_ctr c1" {
+		t.Errorf("sync renders %q", sy)
+	}
+
+	// Wrapped IR statements defer to the IR printer.
+	ws := p.StmtString(&Wrap{S: &ir.Assign{Dst: 0, Src: &ir.Const{Val: ir.IntVal(0)}}})
+	if !strings.Contains(ws, "= 0") {
+		t.Errorf("wrap renders %q", ws)
+	}
+}
+
+func TestProgString(t *testing.T) {
+	fn := buildFn(t)
+	read := accessOf(t, fn, ir.AccRead)
+	p := &Prog{Fn: fn, Counters: 1}
+	b0 := p.NewBlock(0)
+	b1 := p.NewBlock(1)
+	b0.Stmts = append(b0.Stmts,
+		&Get{Dst: 0, Acc: read, Ctr: 0},
+		&SyncCtr{Ctr: 0},
+	)
+	b0.Term = &Jump{To: b1}
+	b1.Term = &Ret{}
+
+	out := p.String()
+	for _, want := range []string{"b0:", "b1:", "get_ctr", "sync_ctr c0", "jump b1", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("program text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	fn := buildFn(t)
+	read := accessOf(t, fn, ir.AccRead)
+	write := accessOf(t, fn, ir.AccWrite)
+	p := &Prog{Fn: fn, Counters: 2}
+	b := p.NewBlock(0)
+	b.Stmts = []Stmt{
+		&Get{Dst: 0, Acc: read, Ctr: 0},
+		&SyncCtr{Ctr: 0},
+		&Put{Acc: write, Src: &ir.Const{Val: ir.IntVal(1)}, Ctr: 1},
+		&Store{Acc: write, Src: &ir.Const{Val: ir.IntVal(2)}},
+		&Wrap{S: &ir.Assign{Dst: 0, Src: &ir.Const{Val: ir.IntVal(0)}}},
+		&SyncCtr{Ctr: 1},
+	}
+	b.Term = &Ret{}
+
+	st := p.CollectStats()
+	want := Stats{Gets: 1, Puts: 1, Stores: 1, Syncs: 2, Wraps: 1}
+	if st != want {
+		t.Errorf("CollectStats = %+v, want %+v", st, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	fn := buildFn(t)
+	read := accessOf(t, fn, ir.AccRead)
+	p := &Prog{Fn: fn, Counters: 1}
+	b := p.NewBlock(0)
+	b.Stmts = []Stmt{&Get{Dst: 0, Acc: read, Ctr: 0}, &SyncCtr{Ctr: 0}}
+	b.Term = &Ret{}
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+
+	// Missing terminator.
+	b.Term = nil
+	if err := p.Validate(); err == nil {
+		t.Error("missing terminator accepted")
+	}
+	b.Term = &Ret{}
+
+	// Counter out of range.
+	b.Stmts = append(b.Stmts, &SyncCtr{Ctr: 5})
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range counter accepted")
+	}
+}
