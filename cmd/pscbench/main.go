@@ -6,6 +6,9 @@
 //	pscbench [flags]
 //
 //	-exp E      table1 | fig12 | fig13 | ablation | messages | cse | all (default all)
+//	            analysis: compiler-side scaling of the delay-set and
+//	            synchronization analyses (not part of all; timings are
+//	            machine-dependent)
 //	-procs N    processors for fig12/ablation/messages (default 64)
 //	-scale N    problem scale (default 1)
 //	-parallel   fan the experiment grids across all CPUs; output is
@@ -23,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|analysis|all")
 	procs := flag.Int("procs", 64, "processors for fig12/ablation/messages")
 	scale := flag.Int("scale", 1, "problem scale")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across all CPUs (deterministic output)")
@@ -100,6 +103,17 @@ func main() {
 		}
 		fmt.Println(bench.FormatMessages(rows, *procs, *scale))
 		emit("messages", bench.MessagesJSON(rows, *procs, *scale))
+	}
+	// Compiler-side timing; excluded from "all" so the default output
+	// stays machine-independent.
+	if *exp == "analysis" {
+		any = true
+		rows, err := bench.RunAnalysisScaling(bench.AnalysisSizes)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatAnalysis(rows))
+		emit("analysis", bench.AnalysisJSON(rows))
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "pscbench: unknown experiment %q\n", *exp)

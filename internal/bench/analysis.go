@@ -1,0 +1,121 @@
+// Analysis-performance experiment: wall-clock scaling of the delay-set
+// and synchronization analyses on generated programs of increasing size.
+// Unlike the figure experiments this measures the compiler itself, not the
+// simulated machine, so rows run sequentially regardless of Workers (a
+// contended grid would contaminate the timings).
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/conflict"
+	"repro/internal/delay"
+	"repro/internal/ir"
+	"repro/internal/progen"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/syncanal"
+)
+
+// AnalysisSizes are the access-count targets of the scaling grid.
+var AnalysisSizes = []int{64, 128, 256, 512}
+
+// AnalysisRow is one program size's measurements.
+type AnalysisRow struct {
+	Target        int     `json:"target"`
+	Seed          int64   `json:"seed"`
+	Accesses      int     `json:"accesses"`
+	ConflictPairs int     `json:"conflict_pairs"`
+	BaselinePairs int     `json:"baseline_pairs"`
+	FinalPairs    int     `json:"final_pairs"`
+	DelayMS       float64 `json:"delay_ms"`   // plain Shasha-Snir delay set
+	AnalyzeMS     float64 `json:"analyze_ms"` // full synchronization analysis
+}
+
+// analysisProgram deterministically selects the benchmark program for a
+// target access count: fixed progen options scaled by the target, first
+// seed whose built function lands within [0.9, 1.25]x the target. The
+// same rule is used by the Go benchmarks in internal/delay and
+// internal/syncanal, so all three measure identical inputs.
+func analysisProgram(target int) (*ir.Fn, int64, error) {
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 4, MaxStmts: target / 4, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		prog, err := source.Parse(progen.Generate(seed, opts))
+		if err != nil {
+			continue
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			continue
+		}
+		fn, err := ir.Build(info, ir.BuildOptions{Procs: 4})
+		if err != nil {
+			continue
+		}
+		if n := len(fn.Accesses); n >= target*9/10 && n <= target*5/4 {
+			return fn, seed, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("no progen seed lands near %d accesses", target)
+}
+
+// bestOfMS times fn over reps runs and returns the fastest in ms.
+func bestOfMS(reps int, fn func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best) / float64(time.Millisecond)
+}
+
+// RunAnalysisScaling measures delay.ShashaSnir and the full
+// syncanal.Analyze pipeline at each target size.
+func RunAnalysisScaling(sizes []int) ([]AnalysisRow, error) {
+	rows := make([]AnalysisRow, 0, len(sizes))
+	for _, target := range sizes {
+		fn, seed, err := analysisProgram(target)
+		if err != nil {
+			return nil, err
+		}
+		ag := ir.BuildAccessGraph(fn)
+		cs := conflict.Compute(fn)
+		res := syncanal.Analyze(fn, syncanal.Options{})
+		rows = append(rows, AnalysisRow{
+			Target:        target,
+			Seed:          seed,
+			Accesses:      len(fn.Accesses),
+			ConflictPairs: cs.Size(),
+			BaselinePairs: res.Baseline.Size(),
+			FinalPairs:    res.D.Size(),
+			DelayMS:       bestOfMS(3, func() { delay.ShashaSnir(ag, cs) }),
+			AnalyzeMS:     bestOfMS(3, func() { syncanal.Analyze(fn, syncanal.Options{}) }),
+		})
+	}
+	return rows, nil
+}
+
+// FormatAnalysis renders the scaling table.
+func FormatAnalysis(rows []AnalysisRow) string {
+	var sb strings.Builder
+	sb.WriteString("Analysis scaling (progen programs; best of 3)\n")
+	sb.WriteString("  accesses  conflicts  baseline|D|  final|D|   delay ms  analyze ms\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %8d  %9d  %11d  %8d  %9.2f  %10.2f\n",
+			r.Accesses, r.ConflictPairs, r.BaselinePairs, r.FinalPairs, r.DelayMS, r.AnalyzeMS)
+	}
+	return sb.String()
+}
+
+// AnalysisJSON wraps the scaling rows for -json emission.
+func AnalysisJSON(rows []AnalysisRow) any {
+	return map[string]any{"experiment": "analysis", "rows": rows}
+}

@@ -20,35 +20,46 @@
 package conflict
 
 import (
+	"repro/internal/graph"
 	"repro/internal/ir"
 )
 
-// Set is the computed conflict relation over a function's accesses.
+// Set is the computed conflict relation over a function's accesses. The
+// symmetric adjacency is stored as bitset rows so the delay-set engine can
+// reuse them word-parallel, at n/64 words per row instead of n bools.
 type Set struct {
 	fn       *ir.Fn
-	partners [][]int // partners[a] = accesses conflicting with a (sorted)
-	matrix   []bool  // n*n symmetric adjacency
+	partners [][]int          // partners[a] = accesses conflicting with a (sorted)
+	matrix   *graph.BitMatrix // n x n symmetric adjacency
 	n        int
 }
 
 // Compute builds the conflict set for fn.
 func Compute(fn *ir.Fn) *Set {
 	n := len(fn.Accesses)
-	s := &Set{fn: fn, partners: make([][]int, n), matrix: make([]bool, n*n), n: n}
+	s := &Set{fn: fn, partners: make([][]int, n), matrix: graph.NewBitMatrix(n), n: n}
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
 			if conflicts(fn, fn.Accesses[i], fn.Accesses[j]) {
-				s.matrix[i*n+j] = true
-				s.matrix[j*n+i] = true
+				s.matrix.Set(i, j)
+				s.matrix.Set(j, i)
 			}
 		}
 	}
+	// Pre-size each partner list from its row's popcount: one exact
+	// allocation per access instead of append-doubling.
 	for i := 0; i < n; i++ {
+		c := s.matrix.RowCount(i)
+		if c == 0 {
+			continue
+		}
+		p := make([]int, 0, c)
 		for j := 0; j < n; j++ {
-			if s.matrix[i*n+j] {
-				s.partners[i] = append(s.partners[i], j)
+			if s.matrix.Has(i, j) {
+				p = append(p, j)
 			}
 		}
+		s.partners[i] = p
 	}
 	return s
 }
@@ -100,11 +111,15 @@ func indexDistinct(fn *ir.Fn, a, b *ir.Access) bool {
 }
 
 // Conflicts reports whether accesses a and b conflict.
-func (s *Set) Conflicts(a, b int) bool { return s.matrix[a*s.n+b] }
+func (s *Set) Conflicts(a, b int) bool { return s.matrix.Has(a, b) }
 
 // Partners returns the accesses conflicting with a (sorted ascending).
 // The result is shared; callers must not modify it.
 func (s *Set) Partners(a int) []int { return s.partners[a] }
+
+// Row returns a's conflict row as a shared bitset of graph.WordsFor(n)
+// words; callers must not modify it.
+func (s *Set) Row(a int) []uint64 { return s.matrix.Row(a) }
 
 // Pairs returns the unordered conflict pairs (a <= b).
 func (s *Set) Pairs() [][2]int {
@@ -119,8 +134,17 @@ func (s *Set) Pairs() [][2]int {
 	return out
 }
 
-// Size returns the number of unordered conflict pairs.
-func (s *Set) Size() int { return len(s.Pairs()) }
+// Size returns the number of unordered conflict pairs, counted from row
+// popcounts without materializing the pair list.
+func (s *Set) Size() int {
+	c := s.matrix.Count()
+	for a := 0; a < s.n; a++ {
+		if s.matrix.Has(a, a) {
+			c++ // self-conflicts sit on the diagonal only once
+		}
+	}
+	return c / 2
+}
 
 // N returns the number of accesses.
 func (s *Set) N() int { return s.n }

@@ -1,0 +1,58 @@
+package delay
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/ir"
+	"repro/internal/progen"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// benchProgram mirrors the scaling-program selection of the syncanal and
+// bench packages: fixed progen options scaled by target, first seed whose
+// built function lands within [0.9, 1.25]x the target access count.
+func benchProgram(tb testing.TB, target int) *ir.Fn {
+	tb.Helper()
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 4, MaxStmts: target / 4, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		prog, err := source.Parse(progen.Generate(seed, opts))
+		if err != nil {
+			continue
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			continue
+		}
+		fn, err := ir.Build(info, ir.BuildOptions{Procs: 4})
+		if err != nil {
+			continue
+		}
+		if n := len(fn.Accesses); n >= target*9/10 && n <= target*5/4 {
+			return fn
+		}
+	}
+	tb.Fatalf("no progen seed lands near %d accesses", target)
+	return nil
+}
+
+// BenchmarkAnalysisDelayCompute measures the back-path engine alone
+// (plain Shasha-Snir over a prebuilt access graph and conflict set).
+func BenchmarkAnalysisDelayCompute(b *testing.B) {
+	for _, size := range []int{64, 128, 256, 512} {
+		fn := benchProgram(b, size)
+		ag := ir.BuildAccessGraph(fn)
+		cs := conflict.Compute(fn)
+		b.Run(fmt.Sprintf("acc%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ShashaSnir(ag, cs)
+			}
+		})
+	}
+}

@@ -17,12 +17,24 @@
 //     (LCPC 1994): conceptually every access has a local and a remote
 //     copy, a back-path leaves the local copy of b on a conflict edge,
 //     wanders the remote copies along program and conflict edges, and
-//     re-enters the local copy of a on a conflict edge — which is the
-//     first-edge/last-edge-conflict reachability this search computes in
-//     O(pairs x edges);
+//     re-enters the local copy of a on a conflict edge;
 //   - the exact search enumerates simple paths (no repeated accesses) and
 //     is exponential in the worst case; it is intended for small programs
 //     and for the ablation comparing delay-set sizes.
+//
+// The polynomial search is batched: the mixed graph (program order plus
+// directed conflict edges) is lowered to CSR adjacency once per Compute
+// call, and for each pair target b one BFS from b's conflict-successor
+// frontier yields a reachability bitset that answers every (a, b) query
+// in O(n/64) words. The reference semantics exclude the pair endpoints as
+// interior path nodes, so the batched engine cuts b's in-edges from the
+// flowgraph and filters a with a per-source dominator tree ("y is
+// reachable avoiding a" iff y is reached and a does not dominate y) —
+// see graph.FlowDom. Queries with a pair-dependent Removed predicate
+// cannot share reachability; they keep a per-pair search on reusable
+// scratch, fanned across a bounded worker pool. The pre-batching
+// implementation survives as the reference engine (Constraints.Reference)
+// for differential tests.
 //
 // Synchronization-aware refinements enter through the Constraints hooks:
 // directed conflict edges (orientation by the precedence relation R) and
@@ -31,10 +43,15 @@ package delay
 
 import (
 	"fmt"
+	"math/bits"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/conflict"
+	"repro/internal/graph"
 	"repro/internal/ir"
 )
 
@@ -44,10 +61,14 @@ type Pair struct {
 	A, B int
 }
 
-// Set is a computed delay set.
+// Set is a computed delay set. Lookups go through the pair map; the
+// sorted views used by codegen (Pairs, Successors) are served from a
+// cached index built lazily and invalidated by Add.
 type Set struct {
-	Fn    *ir.Fn
-	pairs map[Pair]bool
+	Fn     *ir.Fn
+	pairs  map[Pair]bool
+	sorted []Pair  // sorted cache; nil when stale
+	aOff   []int32 // sorted[aOff[a]:aOff[a+1]] are the pairs with A == a
 }
 
 // NewSet returns an empty delay set for fn.
@@ -56,7 +77,14 @@ func NewSet(fn *ir.Fn) *Set {
 }
 
 // Add inserts a delay edge.
-func (s *Set) Add(a, b int) { s.pairs[Pair{a, b}] = true }
+func (s *Set) Add(a, b int) {
+	p := Pair{a, b}
+	if !s.pairs[p] {
+		s.pairs[p] = true
+		s.sorted = nil
+		s.aOff = nil
+	}
+}
 
 // Has reports whether [a, b] is a delay edge.
 func (s *Set) Has(a, b int) bool { return s.pairs[Pair{a, b}] }
@@ -64,8 +92,11 @@ func (s *Set) Has(a, b int) bool { return s.pairs[Pair{a, b}] }
 // Size returns the number of delay edges.
 func (s *Set) Size() int { return len(s.pairs) }
 
-// Pairs returns the delay edges sorted for deterministic output.
-func (s *Set) Pairs() []Pair {
+// index (re)builds the sorted cache and the per-A offset table.
+func (s *Set) index() {
+	if s.sorted != nil || len(s.pairs) == 0 {
+		return
+	}
 	out := make([]Pair, 0, len(s.pairs))
 	for p := range s.pairs {
 		out = append(out, p)
@@ -76,19 +107,40 @@ func (s *Set) Pairs() []Pair {
 		}
 		return out[i].B < out[j].B
 	})
-	return out
+	s.sorted = out
+	n := len(s.Fn.Accesses)
+	s.aOff = make([]int32, n+1)
+	k := 0
+	for a := 0; a < n; a++ {
+		for k < len(out) && out[k].A == a {
+			k++
+		}
+		s.aOff[a+1] = int32(k)
+	}
+}
+
+// Pairs returns the delay edges sorted for deterministic output. The
+// slice is a shared cache; callers must not modify it.
+func (s *Set) Pairs() []Pair {
+	s.index()
+	return s.sorted
 }
 
 // Successors returns the accesses that must wait for a's completion
 // (the b's of every delay edge [a, b]), sorted.
 func (s *Set) Successors(a int) []int {
-	var out []int
-	for p := range s.pairs {
-		if p.A == a {
-			out = append(out, p.B)
-		}
+	s.index()
+	if s.aOff == nil || a < 0 || a+1 >= len(s.aOff) {
+		return nil
 	}
-	sort.Ints(out)
+	seg := s.sorted[s.aOff[a]:s.aOff[a+1]]
+	if len(seg) == 0 {
+		return nil
+	}
+	out := make([]int, len(seg))
+	for i, p := range seg {
+		out[i] = p.B
+	}
 	return out
 }
 
@@ -135,6 +187,131 @@ type Constraints struct {
 	// MaxExactNodes bounds the exact search; programs with more accesses
 	// fall back to the polynomial search. Zero means 64.
 	MaxExactNodes int
+	// Reference forces the pre-batching per-pair search. It exists so the
+	// differential tests can prove the batched engine returns identical
+	// delay sets; production callers leave it false.
+	Reference bool
+}
+
+// Workers bounds the fan-out of Compute's source and pair loops. Zero,
+// the default, means one worker per available CPU (GOMAXPROCS); 1 forces
+// sequential execution. Results land in index-addressed slots and are
+// merged in order, so the computed set is identical at any worker count.
+var Workers = 0
+
+func workerCount(n int) int {
+	w := Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(worker, i) for every i in [0, n) on nw workers.
+// Workers claim indices from an atomic counter; fn must write results
+// into index-addressed slots. The worker id lets fn reuse per-worker
+// scratch.
+func parallelFor(n, nw int, fn func(worker, i int)) {
+	if nw <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// engine is the per-Compute lowered form of the mixed graph: CSR
+// adjacency plus per-target conflict bitsets.
+type engine struct {
+	n     int
+	w     int          // words per bitset row
+	confl *graph.CSR   // directed conflict adjacency: x -> usable partners
+	mixed *graph.CSR   // program order + directed conflicts
+	tRows [][]uint64   // tRows[a] = {y : conflict edge y -> a usable}
+}
+
+func newEngine(ag *ir.AccessGraph, cs *conflict.Set, cdir func(x, y int) bool) *engine {
+	n := cs.N()
+	e := &engine{n: n, w: graph.WordsFor(n)}
+	if cdir == nil {
+		// Conflicts are symmetric and unrestricted: the target row of a is
+		// exactly a's partner row, shared zero-copy from the conflict set.
+		e.tRows = make([][]uint64, n)
+		for a := 0; a < n; a++ {
+			e.tRows[a] = cs.Row(a)
+		}
+		e.confl = graph.BuildCSR(n,
+			func(u int) int { return len(cs.Partners(u)) },
+			func(u int, out []int32) {
+				for i, y := range cs.Partners(u) {
+					out[i] = int32(y)
+				}
+			})
+	} else {
+		tm := graph.NewBitMatrix(n)
+		e.tRows = make([][]uint64, n)
+		for a := 0; a < n; a++ {
+			for _, y := range cs.Partners(a) {
+				if cdir(y, a) {
+					tm.Set(a, y)
+				}
+			}
+			e.tRows[a] = tm.Row(a)
+		}
+		e.confl = graph.BuildCSR(n,
+			func(u int) int {
+				d := 0
+				for _, y := range cs.Partners(u) {
+					if cdir(u, y) {
+						d++
+					}
+				}
+				return d
+			},
+			func(u int, out []int32) {
+				i := 0
+				for _, y := range cs.Partners(u) {
+					if cdir(u, y) {
+						out[i] = int32(y)
+						i++
+					}
+				}
+			})
+	}
+	adj := ag.G.Adj
+	e.mixed = graph.BuildCSR(n,
+		func(u int) int { return len(adj[u]) + len(e.confl.Out(u)) },
+		func(u int, out []int32) {
+			i := 0
+			for _, v := range adj[u] {
+				out[i] = int32(v)
+				i++
+			}
+			i += copy(out[i:], e.confl.Out(u))
+		})
+	return e
 }
 
 // Compute runs the back-path search and returns the delay set.
@@ -144,60 +321,213 @@ type Constraints struct {
 // may be the same single edge). Interior steps may use program-order edges
 // or conflict edges (in their allowed direction).
 func Compute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints) *Set {
+	if con.Reference {
+		return computeReference(ag, cs, con)
+	}
 	fn := ag.Fn
 	out := NewSet(fn)
 	n := len(fn.Accesses)
 	if n == 0 {
 		return out
 	}
-	cdir := con.ConflictDir
-	if cdir == nil {
-		cdir = func(x, y int) bool { return true }
-	}
-	conflictOut := func(x int) []int {
-		var r []int
-		for _, y := range cs.Partners(x) {
-			if cdir(x, y) {
-				r = append(r, y)
+	e := newEngine(ag, cs, con.ConflictDir)
+
+	// Bucket the program-order pairs by their second element b, so every
+	// engine mode shares one unit of work (one reachability computation,
+	// one scratch reuse window) per b.
+	cnt := make([]int32, n+1)
+	total := 0
+	for a := 0; a < n; a++ {
+		row := ag.ReachRow(a)
+		for b, ok := range row {
+			if ok && (con.PairFilter == nil || con.PairFilter(a, b)) {
+				cnt[b+1]++
+				total++
 			}
 		}
-		return r
 	}
-
-	// mixed adjacency: program-order successors plus directed conflicts.
-	mixedAdj := func(x int) []int {
-		r := append([]int(nil), ag.G.Adj[x]...)
-		r = append(r, conflictOut(x)...)
-		return r
+	if total == 0 {
+		return out
 	}
-
-	exact := con.Exact && n <= con.maxExact()
-
-	for _, pr := range ag.OrderedPairs() {
-		a, b := pr[0], pr[1]
-		if con.PairFilter != nil && !con.PairFilter(a, b) {
-			continue
-		}
-		// Note (a, a) pairs are real: inside a loop they stand for the
-		// cross-iteration pair (a_k, a_k+1), and a single self-conflict
-		// edge is a valid back-path for them.
-		removed := func(z int) bool {
-			if z == a || z == b {
-				return false
+	off := cnt
+	for b := 0; b < n; b++ {
+		off[b+1] += off[b]
+	}
+	aOf := make([]int32, total)
+	pos := make([]int32, n)
+	copy(pos, off[:n])
+	for a := 0; a < n; a++ {
+		row := ag.ReachRow(a)
+		for b, ok := range row {
+			if ok && (con.PairFilter == nil || con.PairFilter(a, b)) {
+				aOf[pos[b]] = int32(a)
+				pos[b]++
 			}
-			return con.Removed != nil && con.Removed(a, b, z)
 		}
-		var found bool
-		if exact {
-			found = exactBackPath(ag, cs, cdir, a, b, removed)
-		} else {
-			found = polyBackPath(ag, cs, cdir, conflictOut, mixedAdj, a, b, removed)
+	}
+
+	res := make([]bool, total)
+	nw := workerCount(n)
+	switch {
+	case con.Exact && n <= con.maxExact():
+		cdir := con.ConflictDir
+		if cdir == nil {
+			cdir = func(x, y int) bool { return true }
 		}
-		if found {
-			out.Add(a, b)
+		parallelFor(n, nw, func(_, b int) {
+			for k := off[b]; k < off[b+1]; k++ {
+				a := int(aOf[k])
+				removed := func(z int) bool {
+					if z == a || z == b {
+						return false
+					}
+					return con.Removed != nil && con.Removed(a, b, z)
+				}
+				res[k] = exactBackPath(ag, cs, cdir, a, b, removed)
+			}
+		})
+	case con.Removed != nil:
+		scratch := make([]*pairScratch, nw)
+		parallelFor(n, nw, func(w, b int) {
+			if off[b] == off[b+1] {
+				return
+			}
+			if scratch[w] == nil {
+				scratch[w] = &pairScratch{mark: make([]int32, n)}
+			}
+			sc := scratch[w]
+			for k := off[b]; k < off[b+1]; k++ {
+				res[k] = e.pairSearch(sc, int(aOf[k]), b, con.Removed)
+			}
+		})
+	default:
+		fds := make([]*graph.FlowDom, nw)
+		parallelFor(n, nw, func(w, b int) {
+			if off[b] == off[b+1] {
+				return
+			}
+			if fds[w] == nil {
+				fds[w] = graph.NewFlowDom(e.mixed)
+			}
+			e.source(fds[w], b, aOf[off[b]:off[b+1]], res[off[b]:off[b+1]])
+		})
+	}
+
+	for b := 0; b < n; b++ {
+		for k := off[b]; k < off[b+1]; k++ {
+			if res[k] {
+				out.Add(int(aOf[k]), b)
+			}
 		}
 	}
 	return out
+}
+
+// source answers every pair (a, b) for one b with one BFS: seeds are b's
+// usable conflict successors, b's in-edges are cut (the reference search
+// never re-enters b), and the per-pair exclusion of a is resolved by the
+// dominator test. A query is positive iff
+//   - the single conflict edge b -> a is usable (bit b of T(a)), or
+//   - a's own usable self-conflict edge closes a path that reached a, or
+//   - some y in T(a) was reached and a does not dominate y (so a path to
+//     y avoids a entirely).
+func (e *engine) source(fd *graph.FlowDom, b int, as []int32, res []bool) {
+	seeds := e.confl.Out(b)
+	if len(seeds) == 0 {
+		return // no usable conflict edge leaves b: no back-path can start
+	}
+	fd.Reach(seeds, b)
+	V := fd.VisitedRow()
+	for k, a32 := range as {
+		a := int(a32)
+		ta := e.tRows[a]
+		if graph.BitGet(ta, b) {
+			res[k] = true
+			continue
+		}
+		if !fd.Visited(a) {
+			// a is untouched by the frontier: no path passes through it,
+			// so plain word-parallel intersection is exact.
+			res[k] = graph.AndAny(ta, V)
+			continue
+		}
+		if graph.BitGet(ta, a) {
+			res[k] = true
+			continue
+		}
+		for wi := 0; wi < e.w && !res[k]; wi++ {
+			m := ta[wi] & V[wi]
+			for m != 0 {
+				y := wi<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				if !fd.DomAncestor(a, y) {
+					res[k] = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// pairScratch is the reusable state of one worker's per-pair searches.
+type pairScratch struct {
+	mark  []int32
+	epoch int32
+	stack []int32
+}
+
+// pairSearch is the per-pair polynomial search used when a pair-dependent
+// Removed predicate prevents sharing reachability across pairs. It
+// mirrors the reference search step for step, on CSR adjacency and
+// epoch-stamped scratch instead of fresh allocations.
+func (e *engine) pairSearch(sc *pairScratch, a, b int, rem func(a, b, z int) bool) bool {
+	removed := func(z int) bool {
+		if z == a || z == b {
+			return false
+		}
+		return rem(a, b, z)
+	}
+	ta := e.tRows[a]
+	if graph.BitGet(ta, b) {
+		return true // single conflict edge b -> a
+	}
+	sc.epoch++
+	sc.stack = sc.stack[:0]
+	for _, x := range e.confl.Out(b) {
+		xi := int(x)
+		if removed(xi) {
+			continue
+		}
+		if graph.BitGet(ta, xi) {
+			return true
+		}
+		if xi == a {
+			continue // reached a not via a final conflict edge; a is endpoint
+		}
+		if sc.mark[xi] != sc.epoch {
+			sc.mark[xi] = sc.epoch
+			sc.stack = append(sc.stack, x)
+		}
+	}
+	for len(sc.stack) > 0 {
+		u := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		for _, v := range e.mixed.Out(int(u)) {
+			vi := int(v)
+			if sc.mark[vi] == sc.epoch || removed(vi) {
+				continue
+			}
+			if graph.BitGet(ta, vi) {
+				return true
+			}
+			if vi == a || vi == b {
+				continue
+			}
+			sc.mark[vi] = sc.epoch
+			sc.stack = append(sc.stack, v)
+		}
+	}
+	return false
 }
 
 func (c Constraints) maxExact() int {
@@ -205,104 +535,6 @@ func (c Constraints) maxExact() int {
 		return c.MaxExactNodes
 	}
 	return 64
-}
-
-// polyBackPath checks for a (not necessarily simple) back-path for (a, b).
-func polyBackPath(ag *ir.AccessGraph, cs *conflict.Set, cdir func(int, int) bool,
-	conflictOut func(int) []int, mixedAdj func(int) []int, a, b int, removed func(int) bool) bool {
-
-	// Direct single conflict edge b -> a.
-	if cs.Conflicts(b, a) && cdir(b, a) {
-		return true
-	}
-	// Seed: conflict successors of b; target: any y with a directed
-	// conflict edge y -> a.
-	isTarget := func(y int) bool { return cs.Conflicts(y, a) && cdir(y, a) }
-	n := cs.N()
-	seen := make([]bool, n)
-	var stack []int
-	for _, x := range conflictOut(b) {
-		if removed(x) {
-			continue
-		}
-		if isTarget(x) {
-			return true
-		}
-		if x == a {
-			continue // reached a not via a final conflict edge; a is endpoint
-		}
-		if !seen[x] {
-			seen[x] = true
-			stack = append(stack, x)
-		}
-	}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, v := range mixedAdj(u) {
-			if seen[v] || removed(v) {
-				continue
-			}
-			if isTarget(v) {
-				return true
-			}
-			if v == a || v == b {
-				continue
-			}
-			seen[v] = true
-			stack = append(stack, v)
-		}
-	}
-	return false
-}
-
-// exactBackPath enumerates simple paths (no repeated accesses) from b to a,
-// first and last edges conflict edges. It prunes with a depth-first search
-// and is exponential in the worst case.
-func exactBackPath(ag *ir.AccessGraph, cs *conflict.Set, cdir func(int, int) bool,
-	a, b int, removed func(int) bool) bool {
-
-	if cs.Conflicts(b, a) && cdir(b, a) {
-		return true
-	}
-	n := cs.N()
-	onPath := make([]bool, n)
-	onPath[b] = true
-	var dfs func(u int) bool
-	dfs = func(u int) bool {
-		// Can we finish here with a conflict edge into a?
-		if u != b && cs.Conflicts(u, a) && cdir(u, a) {
-			return true
-		}
-		var next []int
-		if u == b {
-			for _, y := range cs.Partners(b) {
-				if cdir(b, y) {
-					next = append(next, y)
-				}
-			}
-		} else {
-			next = append(next, ag.G.Adj[u]...)
-			for _, y := range cs.Partners(u) {
-				if cdir(u, y) {
-					next = append(next, y)
-				}
-			}
-		}
-		for _, v := range next {
-			if v == a || v == b || onPath[v] || removed(v) {
-				continue
-			}
-			onPath[v] = true
-			if dfs(v) {
-				onPath[v] = false
-				return true
-			}
-			onPath[v] = false
-		}
-		return false
-	}
-	return dfs(b)
 }
 
 // ShashaSnir computes the plain Shasha & Snir delay set: no orientation, no

@@ -1,0 +1,52 @@
+package delay
+
+import (
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/ir"
+)
+
+// FuzzBackPathEquivalence fuzzes the batched engine against the per-pair
+// reference search: any seed/mode combination that produces a buildable
+// program must yield pair-identical delay sets.
+func FuzzBackPathEquivalence(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		for mode := uint8(0); mode < 8; mode++ {
+			f.Add(seed, mode)
+		}
+	}
+	f.Fuzz(func(t *testing.T, seed int64, mode uint8) {
+		fn := genFn(seed)
+		if fn == nil || len(fn.Accesses) == 0 {
+			t.Skip("seed does not build")
+		}
+		con := Constraints{}
+		if mode&1 != 0 {
+			con.ConflictDir = func(x, y int) bool { return (x+y)%3 != 0 || x <= y }
+		}
+		if mode&2 != 0 {
+			con.Removed = func(a, b, z int) bool { return (a+2*b+3*z)%5 == 0 }
+		}
+		if mode&4 != 0 {
+			con.PairFilter = func(a, b int) bool {
+				return fn.Accesses[a].Kind.IsSync() || fn.Accesses[b].Kind.IsSync()
+			}
+		}
+		ag := ir.BuildAccessGraph(fn)
+		cs := conflict.Compute(fn)
+		got := Compute(ag, cs, con)
+		ref := con
+		ref.Reference = true
+		want := Compute(ag, cs, ref)
+		if got.Size() != want.Size() {
+			t.Fatalf("mode %d: got %d pairs, reference %d\ngot:\n%swant:\n%s",
+				mode, got.Size(), want.Size(), got, want)
+		}
+		for _, p := range want.Pairs() {
+			if !got.Has(p.A, p.B) {
+				t.Fatalf("mode %d: reference pair [%d,%d] missing", mode, p.A, p.B)
+			}
+		}
+	})
+}

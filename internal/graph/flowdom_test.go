@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteAvoid computes reachability from seeds with cut's in-edges deleted
+// and the vertex `avoid` removed entirely (seeds equal to avoid dropped).
+func bruteAvoid(g *Digraph, seeds []int32, cut, avoid int) []bool {
+	seen := make([]bool, g.N)
+	var stack []int
+	for _, s := range seeds {
+		if int(s) == avoid || seen[s] {
+			continue
+		}
+		seen[s] = true
+		stack = append(stack, int(s))
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.Adj[u] {
+			if v == cut || v == avoid || seen[v] {
+				continue
+			}
+			seen[v] = true
+			stack = append(stack, v)
+		}
+	}
+	return seen
+}
+
+// TestFlowDomMatchesBruteForce checks the dominator-based formulation of
+// "reachable avoiding one vertex" against direct BFS with the vertex
+// removed, over random graphs, seed sets, cuts, and avoided vertices.
+func TestFlowDomMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(14)
+		g := New(n)
+		edges := rng.Intn(3 * n)
+		for e := 0; e < edges; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		fd := NewFlowDom(FromDigraph(g))
+		for srcTrial := 0; srcTrial < 4; srcTrial++ {
+			var seeds []int32
+			for len(seeds) == 0 {
+				for v := 0; v < n; v++ {
+					if rng.Intn(3) == 0 {
+						seeds = append(seeds, int32(v))
+					}
+				}
+			}
+			cut := rng.Intn(n)
+			fd.Reach(seeds, cut)
+			plain := bruteAvoid(g, seeds, cut, -1)
+			for v := 0; v < n; v++ {
+				if fd.Visited(v) != plain[v] {
+					t.Fatalf("trial %d: Visited(%d) = %v, brute = %v", trial, v, fd.Visited(v), plain[v])
+				}
+			}
+			for avoid := 0; avoid < n; avoid++ {
+				want := bruteAvoid(g, seeds, cut, avoid)
+				for y := 0; y < n; y++ {
+					if y == avoid || !fd.Visited(y) {
+						continue
+					}
+					got := true // reachable avoiding `avoid`?
+					if fd.Visited(avoid) && fd.DomAncestor(avoid, y) {
+						got = false
+					}
+					if got != want[y] {
+						t.Fatalf("trial %d seeds %v cut %d: reach(%d) avoiding %d = %v, brute = %v",
+							trial, seeds, cut, y, avoid, got, want[y])
+					}
+				}
+			}
+		}
+	}
+}

@@ -120,6 +120,11 @@ func BuildAccessGraph(fn *Fn) *AccessGraph {
 // processor in some execution (a path of length >= 1 in program order).
 func (ag *AccessGraph) Reaches(a, b int) bool { return ag.reach[a][b] }
 
+// ReachRow returns the reachability row of a (ReachRow(a)[b] == Reaches(a, b))
+// as a shared slice; callers must not modify it. Iterating rows directly
+// avoids materializing the pair list that OrderedPairs allocates.
+func (ag *AccessGraph) ReachRow(a int) []bool { return ag.reach[a] }
+
 // OrderedPairs returns all pairs (a, b) with a ≺ b in program order
 // (b reachable from a by a path of length >= 1). In loops both (a, b) and
 // (b, a) may appear, and (a, a) appears when a can re-execute.

@@ -1,0 +1,61 @@
+package syncanal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/ir"
+	"repro/internal/progen"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// TestAnalyzeMatchesReferenceEngine runs the full pipeline on progen
+// programs twice — batched bitset engine vs. the per-pair reference
+// search — and requires pair-identical Baseline (plain Shasha–Snir), D1,
+// and refined D delay sets on at least 50 buildable seeds.
+func TestAnalyzeMatchesReferenceEngine(t *testing.T) {
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 3, MaxStmts: 6, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	samePairs := func(label string, got, want *delay.Set) {
+		t.Helper()
+		if got.Size() != want.Size() {
+			t.Fatalf("%s: %d pairs vs reference %d", label, got.Size(), want.Size())
+		}
+		for _, p := range want.Pairs() {
+			if !got.Has(p.A, p.B) {
+				t.Fatalf("%s: reference pair [%d,%d] missing", label, p.A, p.B)
+			}
+		}
+	}
+	checked := 0
+	for seed := int64(0); seed < 80 && checked < 60; seed++ {
+		prog, err := source.Parse(progen.Generate(seed, opts))
+		if err != nil {
+			continue
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			continue
+		}
+		fn, err := ir.Build(info, ir.BuildOptions{Procs: 4})
+		if err != nil || len(fn.Accesses) == 0 {
+			continue
+		}
+		got := Analyze(fn, Options{})
+		want := Analyze(fn, Options{Reference: true})
+		samePairs(fmt.Sprintf("seed %d baseline", seed), got.Baseline, want.Baseline)
+		samePairs(fmt.Sprintf("seed %d D1", seed), got.D1, want.D1)
+		samePairs(fmt.Sprintf("seed %d D", seed), got.D, want.D)
+		if got.R.Size() != want.R.Size() {
+			t.Fatalf("seed %d: |R| %d vs reference %d", seed, got.R.Size(), want.R.Size())
+		}
+		checked++
+	}
+	if checked < 50 {
+		t.Fatalf("only %d buildable seeds, want >= 50", checked)
+	}
+}

@@ -1,0 +1,62 @@
+package syncanal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progen"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// scalingSizes are the access-count buckets of the analysis scaling study
+// (mirrored by bench.RunAnalysisScaling for `pscbench -exp analysis`).
+var scalingSizes = []int{64, 128, 256, 512}
+
+// scalingProgram deterministically picks a progen program with roughly
+// target accesses: fixed generator options scaled by target, first seed
+// whose built function lands within [0.9, 1.25]x the target. The same
+// selection rule lives in bench.RunAnalysisScaling so the benchmark and
+// the pscbench experiment measure identical programs.
+func scalingProgram(tb testing.TB, target int) *ir.Fn {
+	tb.Helper()
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 4, MaxStmts: target / 4, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	for seed := int64(0); seed < 500; seed++ {
+		prog, err := source.Parse(progen.Generate(seed, opts))
+		if err != nil {
+			continue
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			continue
+		}
+		fn, err := ir.Build(info, ir.BuildOptions{Procs: 4})
+		if err != nil {
+			continue
+		}
+		if n := len(fn.Accesses); n >= target*9/10 && n <= target*5/4 {
+			return fn
+		}
+	}
+	tb.Fatalf("no progen seed lands near %d accesses", target)
+	return nil
+}
+
+// BenchmarkAnalysisScaling measures the full synchronization analysis
+// (conflict set, baseline + D1 + refined delay sets, precedence closure)
+// on progen programs of growing size.
+func BenchmarkAnalysisScaling(b *testing.B) {
+	for _, size := range scalingSizes {
+		fn := scalingProgram(b, size)
+		b.Run(fmt.Sprintf("acc%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Analyze(fn, Options{})
+			}
+		})
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/conflict"
 	"repro/internal/delay"
+	"repro/internal/graph"
 	"repro/internal/ir"
 )
 
@@ -38,6 +39,10 @@ type Options struct {
 	NoPostWait bool
 	NoBarrier  bool
 	NoLocks    bool
+	// Reference routes every back-path search through the per-pair
+	// reference engine (see delay.Constraints.Reference); used by the
+	// differential tests.
+	Reference bool
 }
 
 // Precedence is the relation R: Has(a, b) means access a is guaranteed to
@@ -45,51 +50,41 @@ type Options struct {
 // two dynamic instances are "aligned" by the synchronization structure.
 type Precedence struct {
 	n   int
-	rel []bool
+	rel *graph.BitMatrix
 }
 
 // NewPrecedence returns an empty relation over n accesses.
 func NewPrecedence(n int) *Precedence {
-	return &Precedence{n: n, rel: make([]bool, n*n)}
+	return &Precedence{n: n, rel: graph.NewBitMatrix(n)}
 }
 
 // Has reports whether [a, b] is in R.
-func (r *Precedence) Has(a, b int) bool { return r.rel[a*r.n+b] }
+func (r *Precedence) Has(a, b int) bool { return r.rel.Has(a, b) }
 
 // Add inserts [a, b]; it reports whether the edge was new.
 func (r *Precedence) Add(a, b int) bool {
-	if r.rel[a*r.n+b] {
+	if r.rel.Has(a, b) {
 		return false
 	}
-	r.rel[a*r.n+b] = true
+	r.rel.Set(a, b)
 	return true
 }
 
 // Size returns the number of edges.
-func (r *Precedence) Size() int {
-	c := 0
-	for _, v := range r.rel {
-		if v {
-			c++
-		}
-	}
-	return c
-}
+func (r *Precedence) Size() int { return r.rel.Count() }
 
-// transClose closes R under transitivity (Floyd–Warshall); reports change.
+// Row returns a's successor row as a shared bitset; callers must not
+// modify it.
+func (r *Precedence) Row(a int) []uint64 { return r.rel.Row(a) }
+
+// transClose closes R under transitivity (Warshall over bitset rows: one
+// row OR covers 64 targets at a time); reports change.
 func (r *Precedence) transClose() bool {
 	changed := false
-	n := r.n
-	for k := 0; k < n; k++ {
-		for i := 0; i < n; i++ {
-			if !r.rel[i*n+k] {
-				continue
-			}
-			for j := 0; j < n; j++ {
-				if r.rel[k*n+j] && !r.rel[i*n+j] {
-					r.rel[i*n+j] = true
-					changed = true
-				}
+	for k := 0; k < r.n; k++ {
+		for i := 0; i < r.n; i++ {
+			if i != k && r.rel.Has(i, k) && r.rel.OrRow(i, k) {
+				changed = true
 			}
 		}
 	}
@@ -129,7 +124,7 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 		Dom:  ir.BuildDom(fn),
 		PDom: ir.BuildPostDom(fn),
 	}
-	res.Baseline = delay.Compute(res.AG, res.CS, delay.Constraints{Exact: opts.Exact})
+	res.Baseline = delay.Compute(res.AG, res.CS, delay.Constraints{Exact: opts.Exact, Reference: opts.Reference})
 
 	// Step 2: D1.
 	isSyncPair := func(a, b int) bool {
@@ -138,6 +133,7 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 	res.D1 = delay.Compute(res.AG, res.CS, delay.Constraints{
 		PairFilter: isSyncPair,
 		Exact:      opts.Exact,
+		Reference:  opts.Reference,
 	})
 
 	// Step 3: seed R.
@@ -227,12 +223,14 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 		ConflictDir: orientDir,
 		Removed:     removed,
 		Exact:       opts.Exact,
+		Reference:   opts.Reference,
 	})
 	dataPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
 		PairFilter:  func(a, b int) bool { return !isSyncPair(a, b) },
 		ConflictDir: phasedDir,
 		Removed:     removed,
 		Exact:       opts.Exact,
+		Reference:   opts.Reference,
 	})
 	res.D = res.D1.Union(syncPairs).Union(dataPairs)
 	return res
@@ -341,9 +339,11 @@ func (res *Result) refineR() {
 	n := len(fn.Accesses)
 	// Precompute D1 adjacency with domination conditions.
 	// d1succDom[a] = {s : [a,s] ∈ D1 and a dominates s}
-	// d1predDom[a] = {s : [s,a] ∈ D1 and s dominates a}
+	// predDom row a = {s : [s,a] ∈ D1 and s dominates a}, as a bitset so
+	// the derivation check is one word-parallel intersection per b1.
 	d1succDom := make([][]int, n)
-	d1predDom := make([][]int, n)
+	predDom := graph.NewBitMatrix(n)
+	hasPred := make([]bool, n)
 	for _, p := range res.D1.Pairs() {
 		a, b := fn.Accesses[p.A], fn.Accesses[p.B]
 		// Producer side (a1, b1): we need every execution of a1 to be
@@ -358,17 +358,22 @@ func (res *Result) refineR() {
 		// Consumer side (b2, a2): b2 must have executed (and its delay
 		// forced) before any execution of a2 — domination proper.
 		if res.Dom.StmtDominates(a, b) {
-			d1predDom[p.B] = append(d1predDom[p.B], p.A)
+			predDom.Set(p.B, p.A)
+			hasPred[p.B] = true
 		}
 	}
 	for {
 		changed := res.R.transClose()
 		for a1 := 0; a1 < n; a1++ {
+			succs := d1succDom[a1]
+			if len(succs) == 0 {
+				continue
+			}
 			for a2 := 0; a2 < n; a2++ {
-				if res.R.Has(a1, a2) {
+				if !hasPred[a2] || res.R.Has(a1, a2) {
 					continue
 				}
-				if derive(res.R, d1succDom[a1], d1predDom[a2]) {
+				if derive(res.R, succs, predDom.Row(a2)) {
 					res.R.Add(a1, a2)
 					changed = true
 				}
@@ -380,13 +385,12 @@ func (res *Result) refineR() {
 	}
 }
 
-// derive reports whether some b1 in succs and b2 in preds have [b1,b2] ∈ R.
-func derive(r *Precedence, succs, preds []int) bool {
+// derive reports whether some b1 in succs and b2 in the preds bitset have
+// [b1, b2] ∈ R: one row intersection per b1.
+func derive(r *Precedence, succs []int, preds []uint64) bool {
 	for _, b1 := range succs {
-		for _, b2 := range preds {
-			if r.Has(b1, b2) {
-				return true
-			}
+		if graph.AndAny(r.Row(b1), preds) {
+			return true
 		}
 	}
 	return false
