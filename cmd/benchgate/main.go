@@ -1,0 +1,199 @@
+// Command benchgate is the benchmark-regression gate: it parses `go test
+// -bench` output and compares ns/op and allocs/op against the "after"
+// blocks of the checked-in baseline files (BENCH_analysis.json,
+// BENCH_interp.json), failing when a benchmark regresses beyond the
+// tolerance. Improvements never fail; benchmarks absent from the run or
+// metrics absent from a baseline are reported and skipped.
+//
+// When a benchmark appears several times in the input (go test -count=N),
+// the gate keeps the minimum of each metric: the minimum is the standard
+// noise-robust estimate of a benchmark's true cost, which is what lets a
+// tight tolerance hold on shared CI runners.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=3x -count=3 ./... | benchgate baseline.json...
+//
+//	-in FILE     read benchmark output from FILE instead of stdin
+//	-tol PCT     allowed regression percentage (default 25)
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the checked-in BENCH_*.json structure; only the
+// benchmark names and their "after" metrics matter to the gate.
+type baseline struct {
+	Benchmarks []struct {
+		Name  string   `json:"name"`
+		After *metrics `json:"after"`
+	} `json:"benchmarks"`
+}
+
+// metrics holds the comparable numbers; pointers distinguish a metric the
+// baseline simply does not record (e.g. allocs of a wall-clock-only entry).
+type metrics struct {
+	NsOp     *float64 `json:"ns_op"`
+	AllocsOp *float64 `json:"allocs_op"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkInterpOcean-4   5   1108000 ns/op   94072 B/op   389 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// parseBench extracts name -> metrics from benchmark output. The trailing
+// -N GOMAXPROCS suffix is stripped so names match the baselines, and
+// repeated runs of one benchmark keep the per-metric minimum.
+func parseBench(r io.Reader) (map[string]metrics, error) {
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		got := metrics{NsOp: &ns}
+		if m[4] != "" {
+			if al, err := strconv.ParseFloat(m[4], 64); err == nil {
+				got.AllocsOp = &al
+			}
+		}
+		if prev, ok := out[m[1]]; ok {
+			got.NsOp = minMetric(prev.NsOp, got.NsOp)
+			got.AllocsOp = minMetric(prev.AllocsOp, got.AllocsOp)
+		}
+		out[m[1]] = got
+	}
+	return out, sc.Err()
+}
+
+// minMetric returns the smaller of two optional metric values.
+func minMetric(a, b *float64) *float64 {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case *a < *b:
+		return a
+	default:
+		return b
+	}
+}
+
+// check compares one metric and returns its report line plus whether it
+// regressed beyond tol percent. A missing side skips the comparison.
+func check(name, metric string, base, got *float64, tol float64) (string, bool) {
+	switch {
+	case base == nil:
+		return fmt.Sprintf("skip %-42s %-9s no baseline metric", name, metric), false
+	case got == nil:
+		return fmt.Sprintf("skip %-42s %-9s not measured in this run", name, metric), false
+	}
+	delta := 0.0
+	if *base > 0 {
+		delta = (*got - *base) / *base * 100
+	}
+	status, bad := "ok  ", false
+	if delta > tol {
+		status, bad = "FAIL", true
+	}
+	return fmt.Sprintf("%s %-42s %-9s base %14.0f  got %14.0f  %+6.1f%%",
+		status, name, metric, *base, *got, delta), bad
+}
+
+func run(benchOut io.Reader, baselineFiles []string, tol float64, w io.Writer) (int, error) {
+	got, err := parseBench(benchOut)
+	if err != nil {
+		return 0, fmt.Errorf("reading benchmark output: %w", err)
+	}
+	failures := 0
+	compared := 0
+	for _, file := range baselineFiles {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return 0, err
+		}
+		var base baseline
+		if err := json.Unmarshal(data, &base); err != nil {
+			return 0, fmt.Errorf("%s: %w", file, err)
+		}
+		for _, b := range base.Benchmarks {
+			if b.After == nil {
+				continue
+			}
+			cur, ok := got[b.Name]
+			if !ok {
+				fmt.Fprintf(w, "skip %-42s           not in this run\n", b.Name)
+				continue
+			}
+			for _, m := range []struct {
+				metric    string
+				base, got *float64
+			}{
+				{"ns/op", b.After.NsOp, cur.NsOp},
+				{"allocs/op", b.After.AllocsOp, cur.AllocsOp},
+			} {
+				line, bad := check(b.Name, m.metric, m.base, m.got, tol)
+				fmt.Fprintln(w, line)
+				if bad {
+					failures++
+				}
+				if m.base != nil && m.got != nil {
+					compared++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "benchgate: %d comparisons, %d regressions beyond %.0f%%\n", compared, failures, tol)
+	if compared == 0 {
+		return 0, fmt.Errorf("no benchmark matched any baseline entry")
+	}
+	return failures, nil
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	tol := flag.Float64("tol", 25, "allowed regression percentage")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] baseline.json...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	failures, err := run(src, flag.Args(), *tol, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

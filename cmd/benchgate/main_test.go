@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+pkg: repro/internal/interp
+BenchmarkInterpEM3D-4     	       5	    260000 ns/op	   56000 B/op	     200 allocs/op
+BenchmarkInterpOcean-4    	       5	   5108000 ns/op	   94072 B/op	     389 allocs/op
+BenchmarkFigure12-4       	       3	  54000000 ns/op
+BenchmarkInterpEM3D-4     	       5	    240000 ns/op	   56000 B/op	     200 allocs/op
+PASS
+`
+
+const sampleBaseline = `{
+  "benchmarks": [
+    {"name": "BenchmarkInterpEM3D",
+     "after": {"ns_op": 256000, "allocs_op": 199}},
+    {"name": "BenchmarkInterpOcean",
+     "after": {"ns_op": 1108000, "allocs_op": 389}},
+    {"name": "BenchmarkFigure12",
+     "after": {"ns_op": 53800000}},
+    {"name": "BenchmarkNotRun",
+     "after": {"ns_op": 1}}
+  ]
+}`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated runs keep the per-metric minimum (260000 vs 240000).
+	em := got["BenchmarkInterpEM3D"]
+	if em.NsOp == nil || *em.NsOp != 240000 {
+		t.Errorf("EM3D ns/op = %v", em.NsOp)
+	}
+	if em.AllocsOp == nil || *em.AllocsOp != 200 {
+		t.Errorf("EM3D allocs/op = %v", em.AllocsOp)
+	}
+	fig := got["BenchmarkFigure12"]
+	if fig.NsOp == nil || fig.AllocsOp != nil {
+		t.Errorf("Figure12 = %+v, want ns/op only", fig)
+	}
+}
+
+func TestRunGate(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	failures, err := run(strings.NewReader(sampleBench), []string{base}, 25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ocean regressed ~4.6x in ns/op; everything else is within tolerance.
+	if failures != 1 {
+		t.Errorf("failures = %d, want 1\n%s", failures, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FAIL BenchmarkInterpOcean") {
+		t.Errorf("missing Ocean failure:\n%s", out)
+	}
+	if !strings.Contains(out, "skip BenchmarkNotRun") {
+		t.Errorf("missing not-run skip:\n%s", out)
+	}
+	if !strings.Contains(out, "no baseline metric") {
+		t.Errorf("missing metric skip for Figure12 allocs:\n%s", out)
+	}
+}
+
+func TestRunGateNoMatches(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{"benchmarks":[{"name":"X","after":{"ns_op":1}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := run(strings.NewReader("PASS\n"), []string{base}, 25, &sb); err == nil {
+		t.Error("expected error when nothing matches the baseline")
+	}
+}

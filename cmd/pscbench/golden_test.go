@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// golden compares one experiment's output against its checked-in golden
+// file. The goldens pin the simulated results byte for byte: every cell is
+// a deterministic compile+simulate, so any drift is a semantic change in
+// the compiler, the analyses, or the cost model and must be reviewed (and
+// the golden regenerated deliberately, see testdata/golden).
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got+"\n" != string(want) { // pscbench prints each report with Println
+		t.Errorf("%s drifted from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+			name, path, got, want)
+	}
+}
+
+// runGoldens exercises the four golden experiments with the current
+// bench.Workers setting.
+func runGoldens(t *testing.T) {
+	t.Helper()
+	out, err := bench.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table1.txt", out)
+
+	f12, err := bench.RunFigure12(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig12_p16.txt", f12.Format())
+
+	f13, err := bench.RunFigure13([]int{1, 2, 4, 8, 16, 32}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "fig13.txt", f13.Format())
+
+	abl, err := bench.RunDelayAblation(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "ablation_p16.txt", bench.FormatAblation(abl, 16, 1))
+}
+
+func TestGoldenSequential(t *testing.T) {
+	defer func(w int) { bench.Workers = w }(bench.Workers)
+	bench.Workers = 1
+	runGoldens(t)
+}
+
+// TestGoldenParallel re-runs the goldens with the full worker pool: the
+// parallel grids must be byte-identical to the sequential ones.
+func TestGoldenParallel(t *testing.T) {
+	defer func(w int) { bench.Workers = w }(bench.Workers)
+	bench.Workers = 0
+	runGoldens(t)
+}

@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg, err := parseMachine(*mach, *procs)
+	cfg, err := machine.ByName(*mach, *procs)
 	if err != nil {
 		fatal(err)
 	}
@@ -112,21 +112,6 @@ func parseLevel(s string) (splitc.Level, error) {
 		return splitc.LevelUnsafe, nil
 	default:
 		return 0, fmt.Errorf("unknown level %q", s)
-	}
-}
-
-func parseMachine(s string, procs int) (machine.Config, error) {
-	switch s {
-	case "cm5":
-		return machine.CM5(procs), nil
-	case "t3d":
-		return machine.T3D(procs), nil
-	case "dash":
-		return machine.DASH(procs), nil
-	case "ideal":
-		return machine.Ideal(procs), nil
-	default:
-		return machine.Config{}, fmt.Errorf("unknown machine %q", s)
 	}
 }
 

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
 
 func TestParseLevel(t *testing.T) {
 	cases := map[string]bool{
@@ -18,17 +22,17 @@ func TestParseLevel(t *testing.T) {
 	}
 }
 
-func TestParseMachine(t *testing.T) {
-	for _, name := range []string{"cm5", "t3d", "dash", "ideal"} {
-		cfg, err := parseMachine(name, 8)
+func TestMachineByName(t *testing.T) {
+	for _, name := range machine.Names() {
+		cfg, err := machine.ByName(name, 8)
 		if err != nil {
-			t.Errorf("parseMachine(%q): %v", name, err)
+			t.Errorf("ByName(%q): %v", name, err)
 		}
 		if cfg.Procs != 8 {
-			t.Errorf("parseMachine(%q): procs = %d", name, cfg.Procs)
+			t.Errorf("ByName(%q): procs = %d", name, cfg.Procs)
 		}
 	}
-	if _, err := parseMachine("cray", 8); err == nil {
+	if _, err := machine.ByName("cray", 8); err == nil {
 		t.Error("unknown machine should fail")
 	}
 }

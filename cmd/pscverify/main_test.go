@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	splitc "repro"
+	"repro/internal/delay"
+)
+
+func TestParseLevels(t *testing.T) {
+	if lv, err := parseLevels("all"); err != nil || lv != nil {
+		t.Errorf("parseLevels(all) = %v, %v; want nil default", lv, err)
+	}
+	lv, err := parseLevels("blocking, oneway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []splitc.Level{splitc.LevelBlocking, splitc.LevelOneWay}
+	if len(lv) != len(want) || lv[0] != want[0] || lv[1] != want[1] {
+		t.Errorf("parseLevels = %v, want %v", lv, want)
+	}
+	if _, err := parseLevels("bogus"); err == nil {
+		t.Error("expected error for unknown level")
+	}
+}
+
+func TestParseWeaken(t *testing.T) {
+	ps, err := parseWeaken("0-1, 3-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []delay.Pair{{A: 0, B: 1}, {A: 3, B: 4}}
+	if len(ps) != 2 || ps[0] != want[0] || ps[1] != want[1] {
+		t.Errorf("parseWeaken = %v, want %v", ps, want)
+	}
+	for _, bad := range []string{"1", "a-b", "1-"} {
+		if _, err := parseWeaken(bad); err == nil {
+			t.Errorf("parseWeaken(%q): expected error", bad)
+		}
+	}
+	if ps, err := parseWeaken(""); err != nil || ps != nil {
+		t.Errorf("parseWeaken(\"\") = %v, %v; want nil", ps, err)
+	}
+}

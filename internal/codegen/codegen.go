@@ -40,6 +40,12 @@ type Options struct {
 	CSE bool
 	// Hoist moves get/put initiations backwards within blocks.
 	Hoist bool
+	// Weaken lists delay pairs the generator deliberately IGNORES during
+	// sync motion and hoisting, as if the analysis had never emitted them.
+	// This exists solely to seed sequential-consistency violations for the
+	// dynamic verifier's negative tests (internal/scverify); production
+	// compilation must leave it empty.
+	Weaken []delay.Pair
 }
 
 // Stats describes what the optimizer did.
@@ -68,6 +74,12 @@ type Result struct {
 // Generate compiles fn with the given delay set and options.
 func Generate(fn *ir.Fn, opts Options) *Result {
 	g := &generator{fn: fn, opts: opts}
+	if len(opts.Weaken) > 0 {
+		g.weak = make(map[delay.Pair]bool, len(opts.Weaken))
+		for _, p := range opts.Weaken {
+			g.weak[p] = true
+		}
+	}
 	g.lower()
 	if opts.CSE {
 		g.eliminateDeadGets()
@@ -101,6 +113,7 @@ type accInfo struct {
 type pos struct {
 	blk *target.Block
 	idx int // insert before Stmts[idx]; idx == len(Stmts) means at end
+	why target.Cause
 }
 
 type generator struct {
@@ -108,7 +121,18 @@ type generator struct {
 	opts  Options
 	prog  *target.Prog
 	infos map[int]*accInfo // by access ID
+	weak  map[delay.Pair]bool
 	stats Stats
+}
+
+// delayOrders reports whether the delay set orders a's completion before
+// b's initiation, honoring the Weaken list (a weakened pair is treated as
+// absent, seeding a verifiable SC violation).
+func (g *generator) delayOrders(a, b int) bool {
+	if !g.opts.Delays.Has(a, b) {
+		return false
+	}
+	return !g.weak[delay.Pair{A: a, B: b}]
 }
 
 // lower mirrors the IR CFG into target form, turning Loads into Gets and
@@ -229,21 +253,22 @@ func stmtWritesLocal(s target.Stmt, id ir.LocalID) bool {
 }
 
 // blocksMotion reports whether the sync for access a (a get into dst when
-// isGet) must execute before statement s.
-func (g *generator) blocksMotion(a *accInfo, s target.Stmt) bool {
+// isGet) must execute before statement s, and if so which constraint
+// stopped it (recorded as the sync's provenance).
+func (g *generator) blocksMotion(a *accInfo, s target.Stmt) (target.Cause, bool) {
 	// Local def-use: the fetched value must be valid before any use, and
 	// the in-flight reply must land before any redefinition of the
 	// destination (the arrival would clobber the newer value).
 	if a.isGet && (stmtUsesLocal(s, a.dst) || stmtWritesLocal(s, a.dst)) {
-		return true
+		return target.Cause{Acc: a.acc.ID, Blocker: -1, Kind: target.CauseLocal}, true
 	}
 	b := accessOfTarget(s)
 	if b == nil {
-		return false
+		return target.Cause{}, false
 	}
 	// Delay constraints: a must complete before b initiates.
-	if g.opts.Delays.Has(a.acc.ID, b.ID) {
-		return true
+	if g.delayOrders(a.acc.ID, b.ID) {
+		return target.Cause{Acc: a.acc.ID, Blocker: b.ID, Kind: target.CauseDelay}, true
 	}
 	// Same-processor memory dependence: outstanding operations to a
 	// possibly-identical address must stay ordered with later accesses to
@@ -251,10 +276,10 @@ func (g *generator) blocksMotion(a *accInfo, s target.Stmt) bool {
 	if b.Kind.IsData() && b.Sym == a.acc.Sym {
 		bothReads := a.isGet && !isWriteStmt(s)
 		if !bothReads && ir.MayAliasSameProc(g.fn, a.acc.Index, b.Index, a.acc.ID == b.ID) {
-			return true
+			return target.Cause{Acc: a.acc.ID, Blocker: b.ID, Kind: target.CauseAlias}, true
 		}
 	}
-	return false
+	return target.Cause{}, false
 }
 
 // placeSyncs computes, for every initiation, where its sync_ctr must be
@@ -278,7 +303,8 @@ func (g *generator) placeSyncs() {
 			if g.opts.Pipeline {
 				g.push(info, blk, idx+1)
 			} else {
-				info.positions = append(info.positions, pos{blk: blk, idx: idx + 1})
+				why := target.Cause{Acc: info.acc.ID, Blocker: -1, Kind: target.CauseLocal}
+				info.positions = append(info.positions, pos{blk: blk, idx: idx + 1, why: why})
 			}
 		}
 	}
@@ -301,9 +327,10 @@ func (g *generator) push(info *accInfo, blk *target.Block, idx int) {
 		work = work[:len(work)-1]
 		b, i := p.blk, p.idx
 		stopped := false
+		var why target.Cause
 		for ; i < len(b.Stmts); i++ {
-			if g.blocksMotion(info, b.Stmts[i]) {
-				stopped = true
+			if c, blocked := g.blocksMotion(info, b.Stmts[i]); blocked {
+				why, stopped = c, true
 				break
 			}
 		}
@@ -311,7 +338,7 @@ func (g *generator) push(info *accInfo, blk *target.Block, idx int) {
 			w := wpos{b, i}
 			if !placed[w] {
 				placed[w] = true
-				info.positions = append(info.positions, pos{blk: b, idx: i})
+				info.positions = append(info.positions, pos{blk: b, idx: i, why: why})
 			}
 			continue
 		}
@@ -326,7 +353,8 @@ func (g *generator) push(info *accInfo, blk *target.Block, idx int) {
 				w := wpos{b, len(b.Stmts)}
 				if !placed[w] {
 					placed[w] = true
-					info.positions = append(info.positions, pos{blk: b, idx: len(b.Stmts)})
+					why := target.Cause{Acc: info.acc.ID, Blocker: -1, Kind: target.CauseBranch}
+					info.positions = append(info.positions, pos{blk: b, idx: len(b.Stmts), why: why})
 				}
 				continue
 			}
@@ -385,13 +413,16 @@ func (g *generator) posAtBarrier(p pos) bool {
 	return b != nil && b.Kind == ir.AccBarrier
 }
 
-// insertSyncs materializes the computed sync positions.
+// insertSyncs materializes the computed sync positions. Shared counters
+// collapse to one sync_ctr per (position, counter); the collapsed sync's
+// Why accumulates the provenance of every access syncing there.
 func (g *generator) insertSyncs() {
 	type ins struct {
 		idx int
 		ctr target.Ctr
 	}
 	byBlock := make(map[int][]ins)
+	whys := make(map[int]map[ins][]target.Cause)
 	// Deterministic order: iterate infos by access ID (map order varies).
 	ids := make([]int, 0, len(g.infos))
 	for id := range g.infos {
@@ -405,7 +436,14 @@ func (g *generator) insertSyncs() {
 		}
 		g.stats.SyncsDropped += info.dropped
 		for _, p := range info.positions {
-			byBlock[p.blk.ID] = append(byBlock[p.blk.ID], ins{idx: p.idx, ctr: info.ctr})
+			in := ins{idx: p.idx, ctr: info.ctr}
+			byBlock[p.blk.ID] = append(byBlock[p.blk.ID], in)
+			w := whys[p.blk.ID]
+			if w == nil {
+				w = make(map[ins][]target.Cause)
+				whys[p.blk.ID] = w
+			}
+			w[in] = append(w[in], p.why)
 			g.stats.SyncsPlaced++
 			if g.posAtBarrier(p) {
 				g.stats.SyncsAtBarriers++
@@ -418,20 +456,19 @@ func (g *generator) insertSyncs() {
 			continue
 		}
 		// Stable rebuild: walk once, emitting syncs before their indices.
-		// Shared counters collapse to one sync per (position, counter).
-		at := make(map[int][]target.Ctr)
+		at := make(map[int][]*target.SyncCtr)
 		seen := map[ins]bool{}
 		for _, in := range list {
 			if seen[in] {
 				continue
 			}
 			seen[in] = true
-			at[in.idx] = append(at[in.idx], in.ctr)
+			at[in.idx] = append(at[in.idx], &target.SyncCtr{Ctr: in.ctr, Why: whys[blk.ID][in]})
 		}
 		var out []target.Stmt
 		for i := 0; i <= len(blk.Stmts); i++ {
-			for _, c := range at[i] {
-				out = append(out, &target.SyncCtr{Ctr: c})
+			for _, sc := range at[i] {
+				out = append(out, sc)
 			}
 			if i < len(blk.Stmts) {
 				out = append(out, blk.Stmts[i])

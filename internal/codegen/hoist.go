@@ -121,7 +121,7 @@ func (g *generator) canSwap(prev, cur target.Stmt) bool {
 	}
 	// Delay constraints: prev's access must not be ordered before cur.
 	if prevAcc := accessOfTarget(prev); prevAcc != nil {
-		if g.opts.Delays.Has(prevAcc.ID, curAcc.ID) {
+		if g.delayOrders(prevAcc.ID, curAcc.ID) {
 			return false
 		}
 		// Same-processor memory ordering for shared accesses.

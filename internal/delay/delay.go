@@ -246,10 +246,10 @@ func parallelFor(n, nw int, fn func(worker, i int)) {
 // adjacency plus per-target conflict bitsets.
 type engine struct {
 	n     int
-	w     int          // words per bitset row
-	confl *graph.CSR   // directed conflict adjacency: x -> usable partners
-	mixed *graph.CSR   // program order + directed conflicts
-	tRows [][]uint64   // tRows[a] = {y : conflict edge y -> a usable}
+	w     int        // words per bitset row
+	confl *graph.CSR // directed conflict adjacency: x -> usable partners
+	mixed *graph.CSR // program order + directed conflicts
+	tRows [][]uint64 // tRows[a] = {y : conflict edge y -> a usable}
 }
 
 func newEngine(ag *ir.AccessGraph, cs *conflict.Set, cdir func(x, y int) bool) *engine {

@@ -31,6 +31,16 @@ type RunOptions struct {
 	// delay set. Store predecessors are excluded: their completion is
 	// tied to barriers, which the outcome tests cover.
 	VerifyDelays *delay.Set
+	// Perturb randomizes the processing order of simultaneous events
+	// (seeded by Seed). Only legal reorderings are explored: messages
+	// arriving at the same instant race in a real network, so their
+	// relative order is free, while intra-operation orderings (a get's
+	// sample before its landing, landings before the issuing processor's
+	// resume) are preserved. Combined with Jitter this gives the
+	// SC verifier schedule diversity beyond latency variation.
+	Perturb bool
+	// Tap, when non-nil, observes every execution event (see Tap).
+	Tap Tap
 	// MaxEvents bounds the simulation (0 means 50 million).
 	MaxEvents int
 }
@@ -82,8 +92,10 @@ const (
 // meaningful only for the kinds that use them.
 type event struct {
 	t       float64
+	pri     float64 // perturbation tie-break band; 0 unless Perturb is on
 	seq     int
 	kind    evKind
+	dyn     int         // dynamic-op id for the Tap; -1/0 when untapped
 	p       *proc       // evResume, evGetLand, evPost, evLockReq, evLockRel
 	sym     *sem.Symbol // evGetRead, evMemWrite
 	idx     int64       // evGetRead, evMemWrite
@@ -101,6 +113,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }
@@ -134,6 +149,8 @@ type proc struct {
 	ctrs     []ctrState
 	waiting  bool // two-phase flag for blocking statements
 	wakeTime float64
+	pendDyn  int // dynamic-op id of the in-flight blocking op (tap)
+	barEp    int // barrier episode joined at arrival (tap)
 	// lastCompletion[acc] is the latest computed completion time among
 	// this processor's issues of get/put access acc (delay verification).
 	lastCompletion []float64
@@ -146,13 +163,22 @@ type proc struct {
 type eventObj struct {
 	posted  bool
 	arrival float64
+	postDyn int // dynamic-op id of the post (tap bookkeeping)
 	waiters []*proc
 }
 
+// lockWaiter is one queued lock request: the blocked processor plus the
+// dynamic-op id of its lock operation (tap bookkeeping).
+type lockWaiter struct {
+	p   *proc
+	dyn int
+}
+
 type lockObj struct {
-	held  bool
-	queue []*proc
-	free  float64 // time the lock became free at the manager
+	held    bool
+	queue   []lockWaiter
+	free    float64 // time the lock became free at the manager
+	lastRel int     // dynamic-op id of the latest unlock; -1 when never held
 }
 
 type barrierState struct {
@@ -182,6 +208,9 @@ type sim struct {
 	slab []event
 	// delayPreds[b] lists delay predecessors of access b (verification).
 	delayPreds [][]int
+	tap        Tap
+	nDyn       int // next dynamic-op id
+	barEp      int // open barrier episode number
 	// niBusy[p] is the time processor p's network interface finishes its
 	// last queued message (contention modeling).
 	niBusy []float64
@@ -225,8 +254,13 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 	}
 	s.lks = make([][]lockObj, len(prog.Fn.Info.Locks))
 	for _, sym := range prog.Fn.Info.Locks {
-		s.lks[sym.ID] = make([]lockObj, sym.Size)
+		arr := make([]lockObj, sym.Size)
+		for i := range arr {
+			arr[i].lastRel = -1
+		}
+		s.lks[sym.ID] = arr
 	}
+	s.tap = opts.Tap
 	s.procs = make([]*proc, 0, cfg.Procs)
 	for p := 0; p < cfg.Procs; p++ {
 		pr := &proc{
@@ -242,6 +276,9 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 			}
 		}
 		s.procs = append(s.procs, pr)
+		if s.tap != nil {
+			s.tap.Block(pr.id, 0)
+		}
 		s.scheduleResume(0, pr)
 	}
 	for len(s.queue) > 0 && s.err == nil {
@@ -281,11 +318,15 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 	return res, nil
 }
 
-// newEvent hands out a scheduled event: recycled from the free list when
-// possible, bump-allocated from the slab otherwise. Callers fill in the
-// payload fields after the call; t, seq, and kind are already set and the
-// event is already in the queue (heap order only consults t and seq).
-func (s *sim) newEvent(t float64, kind evKind) *event {
+// alloc hands out an event without scheduling it: recycled from the free
+// list when possible, bump-allocated from the slab otherwise. Under
+// perturbation it also draws the event's tie-break priority: resume events
+// live in a later band than message/memory events, so at equal timestamps
+// a processor only proceeds after all same-time deliveries are applied —
+// the invariant the deterministic seq order provides today — while the
+// deliveries themselves race in random order, as they may on a real
+// network.
+func (s *sim) alloc(t float64, kind evKind) *event {
 	var e *event
 	if n := len(s.free); n > 0 {
 		e = s.free[n-1]
@@ -300,8 +341,28 @@ func (s *sim) newEvent(t float64, kind evKind) *event {
 	}
 	s.seq++
 	e.t, e.seq, e.kind = t, s.seq, kind
+	if s.opts.Perturb {
+		if kind == evResume {
+			e.pri = 1 + s.rng.Float64()
+		} else {
+			e.pri = s.rng.Float64()
+		}
+	}
+	return e
+}
+
+// push schedules an allocated event. Heap order consults t, pri, and seq,
+// so callers that need to constrain an event's priority (a get's landing
+// must follow its sample at equal time) set pri between alloc and push.
+func (s *sim) push(e *event) *event {
 	heap.Push(&s.queue, e)
 	return e
+}
+
+// newEvent allocates and schedules in one step. Callers fill in the
+// payload fields after the call.
+func (s *sim) newEvent(t float64, kind evKind) *event {
+	return s.push(s.alloc(t, kind))
 }
 
 func (s *sim) scheduleResume(t float64, p *proc) {
@@ -316,10 +377,16 @@ func (s *sim) dispatch(e *event) {
 		s.resume(e.p)
 	case evGetRead:
 		e.partner.val = s.mem.Read(e.sym, e.idx)
+		if s.tap != nil {
+			s.tap.MemEffect(e.dyn, false, e.partner.val, e.t)
+		}
 	case evGetLand:
 		e.p.env.scalars[e.dst] = e.val
 	case evMemWrite:
 		s.mem.Write(e.sym, e.idx, e.val)
+		if s.tap != nil {
+			s.tap.MemEffect(e.dyn, true, e.val, e.t)
+		}
 	case evPost:
 		s.postArrive(e)
 	case evLockReq:
@@ -416,6 +483,9 @@ func (s *sim) terminate(p *proc) bool {
 	switch t := p.blk.Term.(type) {
 	case *target.Jump:
 		p.blk, p.idx = t.To, 0
+		if s.tap != nil {
+			s.tap.Block(p.id, p.blk.ID)
+		}
 		return true
 	case *target.Branch:
 		v, err := eval(t.Cond, p.env, s.ctx(p))
@@ -430,6 +500,9 @@ func (s *sim) terminate(p *proc) bool {
 			p.blk = t.Else
 		}
 		p.idx = 0
+		if s.tap != nil {
+			s.tap.Block(p.id, p.blk.ID)
+		}
 		return true
 	case *target.Ret:
 		p.done = true
@@ -505,6 +578,7 @@ func (s *sim) issueGet(p *proc, g *target.Get) {
 	if !ok {
 		return
 	}
+	dyn := s.tapIssue(p, OpGet, g.Acc, idx)
 	sym := g.Acc.Sym
 	var arrival, completion float64
 	if owner == p.id {
@@ -524,10 +598,15 @@ func (s *sim) issueGet(p *proc, g *target.Get) {
 	// Both events are scheduled now so their sequence numbers precede any
 	// resume event a later sync_ctr schedules at the completion time: the
 	// value must land in the local before the processor proceeds. The read
-	// deposits its sample into the land event via the partner link.
-	read := s.newEvent(arrival, evGetRead)
-	land := s.newEvent(completion, evGetLand)
-	read.sym, read.idx, read.partner = sym, idx, land
+	// deposits its sample into the land event via the partner link. Under
+	// perturbation the landing inherits the sample's priority so that at
+	// an equal timestamp (a locally-owned access) the sample still runs
+	// first.
+	read := s.push(s.alloc(arrival, evGetRead))
+	land := s.alloc(completion, evGetLand)
+	land.pri = read.pri
+	s.push(land)
+	read.sym, read.idx, read.partner, read.dyn = sym, idx, land, dyn
 	land.p, land.dst = p, g.Dst
 }
 
@@ -542,6 +621,7 @@ func (s *sim) issuePut(p *proc, pt *target.Put) {
 		s.fail(p, "%v", err)
 		return
 	}
+	dyn := s.tapIssue(p, OpPut, pt.Acc, idx)
 	sym := pt.Acc.Sym
 	var arrival, completion float64
 	if owner == p.id {
@@ -559,7 +639,7 @@ func (s *sim) issuePut(p *proc, pt *target.Put) {
 	st.pending = append(st.pending, pendingOp{t: completion, ack: owner != p.id})
 	s.recordCompletion(p, pt.Acc.ID, completion)
 	w := s.newEvent(arrival, evMemWrite)
-	w.sym, w.idx, w.val = sym, idx, v
+	w.sym, w.idx, w.val, w.dyn = sym, idx, v, dyn
 }
 
 func (s *sim) issueStore(p *proc, st *target.Store) {
@@ -573,6 +653,7 @@ func (s *sim) issueStore(p *proc, st *target.Store) {
 		s.fail(p, "%v", err)
 		return
 	}
+	dyn := s.tapIssue(p, OpStore, st.Acc, idx)
 	sym := st.Acc.Sym
 	var arrival float64
 	if owner == p.id {
@@ -589,7 +670,7 @@ func (s *sim) issueStore(p *proc, st *target.Store) {
 		p.storeMax = arrival
 	}
 	w := s.newEvent(arrival, evMemWrite)
-	w.sym, w.idx, w.val = sym, idx, v
+	w.sym, w.idx, w.val, w.dyn = sym, idx, v, dyn
 }
 
 // syncCtr executes a sync_ctr; false means p yielded to the event loop.
@@ -604,6 +685,7 @@ func (s *sim) syncCtr(p *proc, sc *target.SyncCtr) bool {
 	st := &p.ctrs[sc.Ctr]
 	if !p.waiting {
 		p.waiting = true
+		s.tapIssue(p, OpSyncCtr, nil, int64(sc.Ctr))
 		wake := p.time
 		for _, op := range st.pending {
 			if op.t > wake {
@@ -658,53 +740,54 @@ func (s *sim) syncOp(p *proc, acc *ir.Access) bool {
 	}
 }
 
-func (s *sim) eventAt(p *proc, acc *ir.Access) (*eventObj, bool) {
+func (s *sim) eventAt(p *proc, acc *ir.Access) (*eventObj, int64, bool) {
 	idx := int64(0)
 	if acc.Index != nil {
 		v, err := evalInt(acc.Index, p.env, s.ctx(p))
 		if err != nil {
 			s.fail(p, "%v", err)
-			return nil, false
+			return nil, 0, false
 		}
 		idx = v
 	}
 	arr := s.evs[acc.Sym.ID]
 	if idx < 0 || idx >= int64(len(arr)) {
 		s.fail(p, "event index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
-		return nil, false
+		return nil, 0, false
 	}
-	return &arr[idx], true
+	return &arr[idx], idx, true
 }
 
-func (s *sim) lockAt(p *proc, acc *ir.Access) (*lockObj, bool) {
+func (s *sim) lockAt(p *proc, acc *ir.Access) (*lockObj, int64, bool) {
 	idx := int64(0)
 	if acc.Index != nil {
 		v, err := evalInt(acc.Index, p.env, s.ctx(p))
 		if err != nil {
 			s.fail(p, "%v", err)
-			return nil, false
+			return nil, 0, false
 		}
 		idx = v
 	}
 	arr := s.lks[acc.Sym.ID]
 	if idx < 0 || idx >= int64(len(arr)) {
 		s.fail(p, "lock index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
-		return nil, false
+		return nil, 0, false
 	}
-	return &arr[idx], true
+	return &arr[idx], idx, true
 }
 
 func (s *sim) post(p *proc, acc *ir.Access) bool {
-	ev, ok := s.eventAt(p, acc)
+	ev, idx, ok := s.eventAt(p, acc)
 	if !ok {
 		return false
 	}
+	dyn := s.tapIssue(p, OpPost, acc, idx)
 	p.charge(s.cfg.SendOv)
 	p.stats.PostsWaits++
 	s.msgs++
 	arrival := p.time + s.wire() + s.cfg.RecvOv
 	e := s.newEvent(arrival, evPost)
-	e.p, e.ev, e.acc = p, ev, acc
+	e.p, e.ev, e.acc, e.dyn = p, ev, acc, dyn
 	p.idx++
 	return true
 }
@@ -719,6 +802,7 @@ func (s *sim) postArrive(e *event) {
 	}
 	ev.posted = true
 	ev.arrival = e.t
+	ev.postDyn = e.dyn
 	for _, w := range ev.waiters {
 		s.msgs++
 		s.scheduleResume(e.t+s.wire(), w)
@@ -727,13 +811,14 @@ func (s *sim) postArrive(e *event) {
 }
 
 func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
-	ev, ok := s.eventAt(p, acc)
+	ev, idx, ok := s.eventAt(p, acc)
 	if !ok {
 		return false
 	}
 	if !p.waiting {
 		p.waiting = true
 		p.stats.PostsWaits++
+		p.pendDyn = s.tapIssue(p, OpWait, acc, idx)
 		if ev.posted {
 			wake := p.time
 			if t := ev.arrival + s.wire(); t > wake {
@@ -750,6 +835,9 @@ func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
 		s.fail(p, "woken from wait on unposted event %s", acc.Sym.Name)
 		return false
 	}
+	if s.tap != nil {
+		s.tap.Observe(p.pendDyn, ev.postDyn)
+	}
 	if t := ev.arrival + s.wire(); t > p.time {
 		p.time = t
 	}
@@ -759,18 +847,19 @@ func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
 }
 
 func (s *sim) lock(p *proc, acc *ir.Access) bool {
-	lk, ok := s.lockAt(p, acc)
+	lk, idx, ok := s.lockAt(p, acc)
 	if !ok {
 		return false
 	}
 	if !p.waiting {
 		p.waiting = true
 		p.stats.LockOps++
+		p.pendDyn = s.tapIssue(p, OpLock, acc, idx)
 		p.charge(s.cfg.SendOv)
 		s.msgs++
 		reqArrival := p.time + s.wire() + s.cfg.RecvOv
 		e := s.newEvent(reqArrival, evLockReq)
-		e.p, e.lk = p, lk
+		e.p, e.lk, e.dyn = p, lk, p.pendDyn
 		return false
 	}
 	p.waiting = false
@@ -783,16 +872,17 @@ func (s *sim) lock(p *proc, acc *ir.Access) bool {
 }
 
 func (s *sim) unlock(p *proc, acc *ir.Access) bool {
-	lk, ok := s.lockAt(p, acc)
+	lk, idx, ok := s.lockAt(p, acc)
 	if !ok {
 		return false
 	}
+	dyn := s.tapIssue(p, OpUnlock, acc, idx)
 	p.charge(s.cfg.SendOv)
 	p.stats.LockOps++
 	s.msgs++
 	relArrival := p.time + s.wire() + s.cfg.RecvOv
 	e := s.newEvent(relArrival, evLockRel)
-	e.p, e.lk = p, lk
+	e.p, e.lk, e.dyn = p, lk, dyn
 	p.idx++
 	return true
 }
@@ -803,6 +893,9 @@ func (s *sim) lockArrive(e *event) {
 	lk, p := e.lk, e.p
 	if !lk.held {
 		lk.held = true
+		if s.tap != nil {
+			s.tap.Observe(e.dyn, lk.lastRel)
+		}
 		grant := e.t
 		if lk.free > grant {
 			grant = lk.free
@@ -811,7 +904,7 @@ func (s *sim) lockArrive(e *event) {
 		p.wakeTime = grant + s.wire()
 		s.scheduleResume(p.wakeTime, p)
 	} else {
-		lk.queue = append(lk.queue, p)
+		lk.queue = append(lk.queue, lockWaiter{p: p, dyn: e.dyn})
 	}
 }
 
@@ -823,12 +916,16 @@ func (s *sim) unlockArrive(e *event) {
 		s.fail(e.p, "unlock of a lock that is not held")
 		return
 	}
+	lk.lastRel = e.dyn
 	if len(lk.queue) > 0 {
 		next := lk.queue[0]
 		lk.queue = lk.queue[1:]
+		if s.tap != nil {
+			s.tap.Observe(next.dyn, e.dyn)
+		}
 		s.msgs++
-		next.wakeTime = e.t + s.wire()
-		s.scheduleResume(next.wakeTime, next)
+		next.p.wakeTime = e.t + s.wire()
+		s.scheduleResume(next.p.wakeTime, next.p)
 	} else {
 		lk.held = false
 		lk.free = e.t
@@ -839,6 +936,10 @@ func (s *sim) barrier(p *proc, acc *ir.Access) bool {
 	if !p.waiting {
 		p.waiting = true
 		p.stats.Barriers++
+		p.barEp = s.barEp
+		if dyn := s.tapIssue(p, OpBarrierArrive, acc, 0); dyn >= 0 {
+			s.tap.Episode(dyn, p.barEp)
+		}
 		arrive := p.time + s.cfg.SendOv
 		if s.bar.accID == -1 {
 			s.bar.accID = acc.ID
@@ -872,6 +973,7 @@ func (s *sim) barrier(p *proc, acc *ir.Access) bool {
 			}
 			s.bar.n = 0
 			s.bar.accID = -1
+			s.barEp++
 			for _, w := range s.procs {
 				w.wakeTime = release
 				s.scheduleResume(release, w)
@@ -882,6 +984,9 @@ func (s *sim) barrier(p *proc, acc *ir.Access) bool {
 	p.waiting = false
 	if p.wakeTime > p.time {
 		p.time = p.wakeTime
+	}
+	if dyn := s.tapIssue(p, OpBarrierRelease, acc, 0); dyn >= 0 {
+		s.tap.Episode(dyn, p.barEp)
 	}
 	p.charge(s.cfg.RecvOv)
 	p.idx++

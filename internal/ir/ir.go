@@ -228,6 +228,16 @@ func (a *Access) String() string {
 	return fmt.Sprintf("a%d:%s%s", a.ID, a.Kind, name)
 }
 
+// Site renders the access with its source position for diagnostics that
+// leave the compiler, e.g. "a3:write X at 4:9".
+func (a *Access) Site() string {
+	s := a.String()
+	if a.Pos.IsValid() {
+		s += " at " + a.Pos.String()
+	}
+	return s
+}
+
 // Stmt is an IR statement.
 type Stmt interface{ stmtNode() }
 
@@ -358,6 +368,16 @@ type Fn struct {
 
 // Local returns the local with the given ID.
 func (f *Fn) Local(id LocalID) *Local { return f.Locals[id] }
+
+// AccessByID returns the access with the given dense id, or nil when the
+// id is out of range — notably -1, the synthetic id dynamic traces use for
+// emitted sync_ctr waits, which have no source access.
+func (f *Fn) AccessByID(id int) *Access {
+	if id < 0 || id >= len(f.Accesses) {
+		return nil
+	}
+	return f.Accesses[id]
+}
 
 // NewLocal appends a fresh local and returns it.
 func (f *Fn) NewLocal(name string, t source.Type, size int64, isArr bool) *Local {

@@ -21,7 +21,10 @@
 // save everything.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Config is a simulated machine description. All costs are in cycles.
 type Config struct {
@@ -144,4 +147,36 @@ func Ideal(procs int) Config {
 // the paper lists them.
 func Table1(procs int) []Config {
 	return []Config{CM5(procs), T3D(procs), DASH(procs)}
+}
+
+// registry maps the CLI names of the machine models to their constructors.
+var registry = []struct {
+	name string
+	mk   func(int) Config
+}{
+	{"cm5", CM5},
+	{"t3d", T3D},
+	{"dash", DASH},
+	{"jmachine", JMachine},
+	{"ideal", Ideal},
+}
+
+// Names returns the machine names ByName accepts, in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.name
+	}
+	return out
+}
+
+// ByName constructs the named machine model at the given size. It is the
+// single lookup the command-line tools share.
+func ByName(name string, procs int) (Config, error) {
+	for _, r := range registry {
+		if r.name == name {
+			return r.mk(procs), nil
+		}
+	}
+	return Config{}, fmt.Errorf("unknown machine %q (have %s)", name, strings.Join(Names(), ", "))
 }

@@ -1,0 +1,315 @@
+package scverify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/interp"
+)
+
+// EdgeKind labels why one operation must precede another in any
+// sequentially consistent explanation of the execution.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	// EdgePO: program order on one processor.
+	EdgePO EdgeKind = iota
+	// EdgeConflict: the memory system applied the source before the
+	// target at a common location, and at least one of the two writes.
+	EdgeConflict
+	// EdgeSync: a synchronization observation (wait saw the post,
+	// lock grant saw the unlock).
+	EdgeSync
+	// EdgeBarrier: barrier episode ordering (arrivals before releases).
+	EdgeBarrier
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgePO:
+		return "po"
+	case EdgeConflict:
+		return "conflict"
+	case EdgeSync:
+		return "sync"
+	case EdgeBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+type edge struct {
+	to   int
+	kind EdgeKind
+}
+
+// hbGraph is the happens-before graph over a trace's operations plus one
+// virtual node per barrier episode (node ids len(Ops)+e), which turns the
+// quadratic arrivals-before-releases relation into a star.
+type hbGraph struct {
+	tr  *Trace
+	adj [][]edge
+}
+
+func (g *hbGraph) addEdge(from, to int, kind EdgeKind) {
+	if from == to || from < 0 || to < 0 {
+		return
+	}
+	g.adj[from] = append(g.adj[from], edge{to: to, kind: kind})
+}
+
+// inGraph reports whether the op participates in the SC check. sync_ctr
+// waits are local control flow, not shared accesses: their ordering force
+// is temporal (they delay later issues), which the other edges observe.
+func inGraph(op *Op) bool { return op.Kind != interp.OpSyncCtr }
+
+// buildGraph assembles the happens-before graph:
+//
+//   - program order: per processor, per block visit, operations native to
+//     the visited block are re-sorted to source statement order (undoing
+//     intra-block initiation hoisting); operations issued from another
+//     block (cross-block motion, CSE levels) keep their issue slot. The
+//     per-processor sequence is then chained.
+//   - conflict order: walking the memory application order per location,
+//     write->read for the write a read observed, read->write for reads
+//     that missed a later write, write->write in application order.
+//     Read-read pairs commute and get no edge.
+//   - sync observations and barrier episodes as recorded.
+func buildGraph(tr *Trace) *hbGraph {
+	g := &hbGraph{tr: tr, adj: make([][]edge, len(tr.Ops)+tr.Episodes)}
+
+	// Program order.
+	for _, dyns := range tr.ByProc {
+		ordered := programOrder(tr, dyns)
+		prev := -1
+		for _, d := range ordered {
+			if !inGraph(&tr.Ops[d]) {
+				continue
+			}
+			if prev >= 0 {
+				g.addEdge(prev, d, EdgePO)
+			}
+			prev = d
+		}
+	}
+
+	// Conflict order per location, from the memory application order.
+	type locState struct {
+		lastWrite int
+		reads     []int
+	}
+	type locKey struct {
+		sym any
+		idx int64
+	}
+	locs := make(map[locKey]*locState)
+	for _, d := range tr.MemOrder {
+		op := &tr.Ops[d]
+		k := locKey{sym: op.Sym, idx: op.Idx}
+		st := locs[k]
+		if st == nil {
+			st = &locState{lastWrite: -1}
+			locs[k] = st
+		}
+		if op.Write {
+			if st.lastWrite >= 0 {
+				g.addEdge(st.lastWrite, d, EdgeConflict)
+			}
+			for _, r := range st.reads {
+				g.addEdge(r, d, EdgeConflict)
+			}
+			st.lastWrite = d
+			st.reads = st.reads[:0]
+		} else {
+			if st.lastWrite >= 0 {
+				g.addEdge(st.lastWrite, d, EdgeConflict)
+			}
+			st.reads = append(st.reads, d)
+		}
+	}
+
+	// Synchronization observations.
+	for _, ob := range tr.Observes {
+		g.addEdge(ob.from, ob.dyn, EdgeSync)
+	}
+
+	// Barrier episodes through virtual nodes.
+	for d, ep := range tr.Episode {
+		if ep < 0 {
+			continue
+		}
+		v := len(tr.Ops) + ep
+		switch tr.Ops[d].Kind {
+		case interp.OpBarrierArrive:
+			g.addEdge(d, v, EdgeBarrier)
+		case interp.OpBarrierRelease:
+			g.addEdge(v, d, EdgeBarrier)
+		}
+	}
+	return g
+}
+
+// programOrder recovers the source program order of one processor's
+// issued operations: within each block visit, ops whose access lives in
+// the visited block are permuted among their own issue slots into source
+// statement order; foreign ops (moved across blocks by the optimizer)
+// stay at their issue position, a deliberate leniency.
+func programOrder(tr *Trace, dyns []int) []int {
+	out := make([]int, 0, len(dyns))
+	for i := 0; i < len(dyns); {
+		j := i
+		visit := tr.Ops[dyns[i]].Visit
+		for j < len(dyns) && tr.Ops[dyns[j]].Visit == visit {
+			j++
+		}
+		out = append(out, sortVisit(tr, dyns[i:j])...)
+		i = j
+	}
+	return out
+}
+
+// sortVisit permutes the native ops of one block visit into source order,
+// leaving foreign ops in place.
+func sortVisit(tr *Trace, dyns []int) []int {
+	blk := tr.Ops[dyns[0]].VisitBlk
+	var natives, slots []int
+	for i, d := range dyns {
+		if tr.Ops[d].SrcBlk == blk {
+			natives = append(natives, d)
+			slots = append(slots, i)
+		}
+	}
+	if len(natives) < 2 {
+		return dyns
+	}
+	sorted := true
+	for i := 1; i < len(natives); i++ {
+		if tr.Ops[natives[i]].SrcIdx < tr.Ops[natives[i-1]].SrcIdx {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return dyns
+	}
+	sort.SliceStable(natives, func(i, j int) bool {
+		return tr.Ops[natives[i]].SrcIdx < tr.Ops[natives[j]].SrcIdx
+	})
+	out := append([]int(nil), dyns...)
+	for i, slot := range slots {
+		out[slot] = natives[i]
+	}
+	return out
+}
+
+// findCycle searches the graph for a cycle with an iterative three-color
+// DFS and returns it as a node sequence (first node repeated at the end),
+// with the edge kinds taken along, or nil if the graph is acyclic.
+func (g *hbGraph) findCycle() ([]int, []EdgeKind) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.adj))
+	parent := make([]int, len(g.adj))
+	parentKind := make([]EdgeKind, len(g.adj))
+	type frame struct {
+		node int
+		next int
+	}
+	for start := range g.adj {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		parent[start] = -1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next >= len(g.adj[f.node]) {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			e := g.adj[f.node][f.next]
+			f.next++
+			switch color[e.to] {
+			case white:
+				color[e.to] = gray
+				parent[e.to] = f.node
+				parentKind[e.to] = e.kind
+				stack = append(stack, frame{node: e.to})
+			case gray:
+				// Back edge: unwind the parent chain from f.node to e.to.
+				var nodes []int
+				var kinds []EdgeKind
+				nodes = append(nodes, e.to)
+				kinds = append(kinds, e.kind)
+				for n := f.node; n != e.to; n = parent[n] {
+					nodes = append(nodes, n)
+					kinds = append(kinds, parentKind[n])
+				}
+				// Reverse into forward order and close the loop.
+				for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+					nodes[i], nodes[j] = nodes[j], nodes[i]
+				}
+				for i, j := 1, len(kinds)-1; i < j; i, j = i+1, j-1 {
+					kinds[i], kinds[j] = kinds[j], kinds[i]
+				}
+				return append(nodes, nodes[0]), kinds
+			}
+		}
+	}
+	return nil, nil
+}
+
+// CheckTrace builds the happens-before graph for the trace and reports a
+// violation if the orderings do not embed into any single total order,
+// i.e. the graph has a cycle. A nil result means the execution is
+// explainable by a sequentially consistent interleaving.
+func CheckTrace(tr *Trace) *Violation {
+	g := buildGraph(tr)
+	nodes, kinds := g.findCycle()
+	if nodes == nil {
+		return nil
+	}
+	v := &Violation{}
+	for i, n := range nodes {
+		if n >= len(tr.Ops) {
+			v.Cycle = append(v.Cycle, fmt.Sprintf("barrier episode %d", n-len(tr.Ops)))
+		} else {
+			v.Cycle = append(v.Cycle, tr.Ops[n].String())
+		}
+		if i < len(kinds) {
+			v.Edges = append(v.Edges, kinds[i])
+		}
+	}
+	return v
+}
+
+// Violation describes a detected non-SC execution: a cycle in the
+// happens-before graph, rendered operation by operation.
+type Violation struct {
+	Schedule Schedule
+	Cycle    []string   // ops along the cycle; first repeated at the end
+	Edges    []EdgeKind // Edges[i] connects Cycle[i] -> Cycle[i+1]
+}
+
+// String renders the violation as a multi-line cycle listing.
+func (v *Violation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SC violation under %v: ordering cycle of %d ops\n", v.Schedule, len(v.Cycle)-1)
+	for i, op := range v.Cycle {
+		if i == len(v.Cycle)-1 {
+			fmt.Fprintf(&sb, "  %s\n", op)
+			break
+		}
+		fmt.Fprintf(&sb, "  %s\n    --%s-->\n", op, v.Edges[i])
+	}
+	return sb.String()
+}

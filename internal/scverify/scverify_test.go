@@ -1,0 +1,228 @@
+package scverify
+
+import (
+	"testing"
+
+	splitc "repro"
+	"repro/internal/delay"
+)
+
+// sbSrc is a store-buffering (Dekker-style) program: each processor
+// writes a flag owned by the other processor, then reads its own. Both
+// reads returning the initial value is not sequentially consistent.
+//
+// Access ids (asserted by TestAccessIDs): a0 = write X (p0), a1 = read Y
+// (p0), a2 = write RY, a3 = write Y (p1), a4 = read X (p1), a5 = write RX.
+const sbSrc = `
+shared int X on 1 = 0;
+shared int Y on 0 = 0;
+shared int RX on 1 = 0;
+shared int RY on 0 = 0;
+func main() {
+	if (MYPROC == 0) {
+		X = 1;
+		RY = Y;
+	}
+	if (MYPROC == 1) {
+		Y = 1;
+		RX = X;
+	}
+}
+`
+
+// mpSrc is a message-passing program: p0 publishes X then posts a flag
+// event owned by p1; p1 waits and reads X. X lives on p1, so the data
+// write and the post race across the same wire, while p1's read is local.
+//
+// Access ids: a0 = write X, a1 = post E[1], a2 = wait E[1], a3 = read X,
+// a4 = write R.
+const mpSrc = `
+shared int X on 1 = 0;
+shared int R on 1 = 0;
+event E[2];
+func main() {
+	if (MYPROC == 0) {
+		X = 7;
+		post(E[1]);
+	}
+	if (MYPROC == 1) {
+		wait(E[1]);
+		R = X;
+	}
+}
+`
+
+// barSrc publishes through a barrier: p0 writes X (owned by p1), everyone
+// crosses the barrier, p1 reads X locally. At the one-way level the write
+// becomes an unacknowledged store drained by the barrier.
+//
+// Access ids: a0 = write X, a1 = barrier, a2 = read X, a3 = write R.
+const barSrc = `
+shared int X on 1 = 0;
+shared int R on 1 = 0;
+func main() {
+	if (MYPROC == 0) {
+		X = 3;
+	}
+	barrier;
+	if (MYPROC == 1) {
+		R = X;
+	}
+}
+`
+
+// assertAccess pins the access-id layout a test's Weaken pairs rely on,
+// so source edits that renumber accesses fail loudly.
+func assertAccess(t *testing.T, src string, procs int, want []string) {
+	t.Helper()
+	p, err := splitc.Compile(src, splitc.Options{Procs: procs, Level: splitc.LevelBlocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fn.Accesses) != len(want) {
+		t.Fatalf("program has %d accesses, want %d", len(p.Fn.Accesses), len(want))
+	}
+	for i, w := range want {
+		if got := p.Fn.Accesses[i].String(); got != w {
+			t.Fatalf("access %d = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestAccessIDs(t *testing.T) {
+	assertAccess(t, sbSrc, 2, []string{
+		"a0:write X", "a1:read Y", "a2:write RY",
+		"a3:write Y", "a4:read X", "a5:write RX",
+	})
+	assertAccess(t, mpSrc, 2, []string{
+		"a0:write X", "a1:post E[...]", "a2:wait E[...]", "a3:read X", "a4:write R",
+	})
+	assertAccess(t, barSrc, 2, []string{
+		"a0:write X", "a1:barrier", "a2:read X", "a3:write R",
+	})
+}
+
+// TestUnweakenedClean is the false-positive check: correctly compiled
+// programs must verify cleanly at every level on every schedule.
+func TestUnweakenedClean(t *testing.T) {
+	for _, src := range []string{sbSrc, mpSrc, barSrc} {
+		rep, err := Verify(src, Options{Procs: 2, Schedules: Schedules(10)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("unweakened program flagged:\n%s%s", rep.Summary(), dumpViolations(rep))
+		}
+		if !rep.ExactOracle {
+			t.Errorf("expected exact SC enumeration for the tiny program")
+		}
+	}
+}
+
+// negCase seeds one weakening that genuinely admits non-SC executions.
+type negCase struct {
+	name      string
+	src       string
+	level     splitc.Level
+	weaken    []delay.Pair
+	schedules []Schedule // nil: Schedules(10)
+}
+
+// heavyJitter is a wide grid of heavily jittered schedules for weakenings
+// whose violation window is narrow (a data message must outrun a two-hop
+// synchronization notification). Each schedule is deterministic given its
+// seed, so detection is reproducible.
+func heavyJitter(n int) []Schedule {
+	out := make([]Schedule, n)
+	for i := range out {
+		out[i] = Schedule{Seed: int64(i), Jitter: 8, Perturb: true}
+	}
+	return out
+}
+
+func negSuite() []negCase {
+	return []negCase{
+		// Both sides of the Dekker critical cycle: each processor's read
+		// overtakes its in-flight remote write. (Weakening only one side
+		// is still SC-explainable: the other side's enforced delay keeps
+		// the outcome reachable, so the suite drops both.)
+		{name: "dekker-both", src: sbSrc, level: splitc.LevelPipelined,
+			weaken: []delay.Pair{{A: 0, B: 1}, {A: 3, B: 4}}},
+		// Publisher side of message passing: the data write is still in
+		// flight when the post overtakes it on the same wire. The post's
+		// notification takes two hops to reach the consumer against the
+		// write's one, so the window needs heavy jitter to open.
+		{name: "mp-write-post", src: mpSrc, level: splitc.LevelPipelined,
+			weaken:    []delay.Pair{{A: 0, B: 1}},
+			schedules: heavyJitter(200)},
+		// Consumer side: the read is hoisted above the wait and samples
+		// the unpublished value.
+		{name: "mp-wait-read", src: mpSrc, level: splitc.LevelPipelined,
+			weaken: []delay.Pair{{A: 2, B: 3}}},
+		// Store drain: without the write->barrier delay the put's sync
+		// escapes past the barrier into a block the writer never runs, so
+		// the writer crosses the barrier with the write still in flight.
+		{name: "barrier-store-drain", src: barSrc, level: splitc.LevelOneWay,
+			weaken: []delay.Pair{{A: 0, B: 1}}},
+	}
+}
+
+func TestWeakenedFlagged(t *testing.T) {
+	for _, tc := range negSuite() {
+		t.Run(tc.name, func(t *testing.T) {
+			// The weakening must change the emitted code; otherwise the
+			// case tests nothing.
+			base, err := splitc.Compile(tc.src, splitc.Options{Procs: 2, Level: tc.level})
+			if err != nil {
+				t.Fatal(err)
+			}
+			weak, err := splitc.Compile(tc.src, splitc.Options{Procs: 2, Level: tc.level, Weaken: tc.weaken})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.TargetText() == weak.TargetText() {
+				t.Fatalf("weakening %v did not change the emitted code", tc.weaken)
+			}
+			schedules := tc.schedules
+			if schedules == nil {
+				schedules = Schedules(10)
+			}
+			rep, err := Verify(tc.src, Options{
+				Procs:     2,
+				Levels:    []splitc.Level{tc.level},
+				Weaken:    tc.weaken,
+				Schedules: schedules,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.OK() {
+				t.Fatalf("seeded weakening %v not flagged\n%s", tc.weaken, rep.Summary())
+			}
+			// The trace checker itself (not just the outcome check) must
+			// see the cycle: that is the claim that the checker has teeth.
+			cycles := 0
+			for _, lr := range rep.Levels {
+				cycles += len(lr.Violations)
+			}
+			if cycles == 0 {
+				t.Fatalf("weakening %v flagged only by outcome, no ordering cycle\n%s",
+					tc.weaken, dumpViolations(rep))
+			}
+			t.Logf("%s: %d cycles\n%s", tc.name, cycles, rep.Summary())
+		})
+	}
+}
+
+func dumpViolations(rep *Report) string {
+	out := ""
+	for _, lr := range rep.Levels {
+		for _, v := range lr.Violations {
+			out += v.String()
+		}
+		for _, e := range lr.OutcomeErrs {
+			out += e.Error() + "\n"
+		}
+	}
+	return out
+}

@@ -59,9 +59,61 @@ type Store struct {
 	Src ir.Expr
 }
 
+// CauseKind classifies why a sync_ctr was pinned at its position.
+type CauseKind uint8
+
+// Sync-placement causes, in the order the motion rules check them.
+const (
+	// CauseLocal: a local def-use dependence on the fetched value.
+	CauseLocal CauseKind = iota
+	// CauseDelay: a delay-set edge orders the access before the blocker.
+	CauseDelay
+	// CauseAlias: a same-processor access to a possibly-identical address.
+	CauseAlias
+	// CauseBranch: a branch condition uses the fetched value.
+	CauseBranch
+)
+
+// String names the cause kind.
+func (k CauseKind) String() string {
+	switch k {
+	case CauseLocal:
+		return "local"
+	case CauseDelay:
+		return "delay"
+	case CauseAlias:
+		return "alias"
+	case CauseBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("CauseKind(%d)", int(k))
+	}
+}
+
+// Cause records the provenance of one emitted sync_ctr: which access's
+// completion it awaits and what pinned it at its position. The dynamic
+// SC verifier uses this to connect an observed violation back to the
+// delay edge (or dependence) whose enforcement went missing.
+type Cause struct {
+	Acc     int       // access whose outstanding operation the sync awaits
+	Blocker int       // access that stopped the sync's forward motion; -1 if none
+	Kind    CauseKind // why the motion stopped
+}
+
+// String renders the cause, e.g. "delay(a3 before a7)".
+func (c Cause) String() string {
+	if c.Blocker < 0 {
+		return fmt.Sprintf("%s(a%d)", c.Kind, c.Acc)
+	}
+	return fmt.Sprintf("%s(a%d before a%d)", c.Kind, c.Acc, c.Blocker)
+}
+
 // SyncCtr waits until all outstanding operations on Ctr have completed.
+// Why, filled in by the code generator, records for each access syncing
+// here which constraint pinned the sync at this position.
 type SyncCtr struct {
 	Ctr Ctr
+	Why []Cause
 }
 
 // Wrap carries an IR statement through lowering unchanged.
@@ -209,6 +261,20 @@ func (p *Prog) StmtString(s Stmt) string {
 	default:
 		return fmt.Sprintf("?stmt %T", s)
 	}
+}
+
+// StmtStringVerbose renders a statement like StmtString, but appends a
+// sync_ctr's placement provenance when recorded.
+func (p *Prog) StmtStringVerbose(s Stmt) string {
+	out := p.StmtString(s)
+	if sc, ok := s.(*SyncCtr); ok && len(sc.Why) > 0 {
+		parts := make([]string, len(sc.Why))
+		for i, c := range sc.Why {
+			parts[i] = c.String()
+		}
+		out += "    ; why " + strings.Join(parts, ", ")
+	}
+	return out
 }
 
 // refString renders a shared-access reference.

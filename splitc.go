@@ -89,6 +89,10 @@ type Options struct {
 	// NoHoist disables initiation back-motion at the pipelined levels
 	// (an ablation knob; hoisting is part of the paper's pipelining).
 	NoHoist bool
+	// Weaken lists delay pairs the code generator deliberately ignores,
+	// seeding sequential-consistency violations for the dynamic verifier's
+	// negative tests (internal/scverify). Leave empty for real compiles.
+	Weaken []delay.Pair
 }
 
 // Program is a compiled MiniSplit program.
@@ -125,6 +129,7 @@ func Compile(src string, opts Options) (*Program, error) {
 
 	var cg codegen.Options
 	cg.CSE = opts.CSE
+	cg.Weaken = opts.Weaken
 	switch opts.Level {
 	case LevelBlocking:
 		cg.Delays = analysis.D
