@@ -177,3 +177,26 @@ func BenchmarkAnalysisExact(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPassPipeline measures the instrumented pass pipeline end to end
+// on every kernel at the highest optimization level: the cost of compiling
+// through pass.Plan with per-pass wall-clock instrumentation (allocation
+// attribution stays off, as in Compile). Gated by cmd/benchgate against
+// BENCH_analysis.json.
+func BenchmarkPassPipeline(b *testing.B) {
+	for _, k := range apps.All() {
+		src := k.Source(benchProcs, 1)
+		b.Run(k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prog, err := splitc.Compile(src, splitc.Options{Procs: benchProcs, Level: splitc.LevelOneWay, CSE: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(prog.Passes) == 0 {
+					b.Fatal("no pass stats recorded")
+				}
+			}
+		})
+	}
+}

@@ -6,6 +6,8 @@
 //	pscbench [flags]
 //
 //	-exp E      table1 | fig12 | fig13 | ablation | messages | cse | all (default all)
+//	            passes: per-pass optimizer counters for every kernel
+//	            (not part of all)
 //	            analysis: compiler-side scaling of the delay-set and
 //	            synchronization analyses (not part of all; timings are
 //	            machine-dependent)
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|analysis|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|passes|analysis|all")
 	procs := flag.Int("procs", 64, "processors for fig12/ablation/messages")
 	scale := flag.Int("scale", 1, "problem scale")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across all CPUs (deterministic output)")
@@ -103,6 +105,17 @@ func main() {
 		}
 		fmt.Println(bench.FormatMessages(rows, *procs, *scale))
 		emit("messages", bench.MessagesJSON(rows, *procs, *scale))
+	}
+	// Per-pass counters for every kernel; excluded from "all" to keep the
+	// checked-in golden outputs focused on the paper's tables.
+	if *exp == "passes" {
+		any = true
+		rows, err := bench.RunPassStats(*procs, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.FormatPassStats(rows, *procs))
+		emit("passes", rows)
 	}
 	// Compiler-side timing; excluded from "all" so the default output
 	// stays machine-independent.

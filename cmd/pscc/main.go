@@ -1,26 +1,37 @@
-// Command pscc is the MiniSplit compiler driver: it parses, analyzes, and
-// compiles a program, printing the requested intermediate results.
+// Command pscc is the MiniSplit compiler driver: it runs the instrumented
+// pass pipeline over a program, printing the requested intermediate results.
 //
 // Usage:
 //
 //	pscc [flags] file.ms
 //
-//	-procs N      compile for N processors (default 8)
-//	-level L      blocking | baseline | pipelined | oneway (default oneway)
-//	-cse          enable communication elimination
-//	-exact        exact (exponential) simple-path search
-//	-dump-ast     print the parsed program
-//	-dump-ir      print the mid-level IR
-//	-dump-target  print the generated split-phase code (default)
-//	-summary      print analysis statistics
+//	-procs N        compile for N processors (default 8)
+//	-level L        blocking | baseline | pipelined | oneway (default oneway)
+//	-cse            enable communication elimination
+//	-exact          exact (exponential) simple-path search
+//	-passes LIST    run an explicit comma-separated pass list instead of
+//	                the level's planned pipeline
+//	-dump-after P   dump compiler state after the named passes (comma list)
+//	-dump-ast       dump after parse (the parsed program)
+//	-dump-ir        dump after build-ir (the mid-level IR)
+//	-dump-target    dump the final generated code (default, unless another
+//	                dump is requested)
+//	-pass-stats     print per-pass wall time, allocations, and counters
+//	-summary        print analysis statistics
+//
+// Dumps compose: each requested dump prints once, in pipeline order, under
+// a "== <pass> ==" header naming the pass it follows.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
+	"repro/internal/diag"
+	"repro/internal/pass"
 	"repro/internal/source"
 )
 
@@ -29,9 +40,12 @@ func main() {
 	level := flag.String("level", "oneway", "optimization level: blocking|baseline|pipelined|oneway")
 	cse := flag.Bool("cse", false, "enable communication elimination")
 	exact := flag.Bool("exact", false, "exact simple-path search")
-	dumpAST := flag.Bool("dump-ast", false, "print the parsed program")
-	dumpIR := flag.Bool("dump-ir", false, "print the mid-level IR")
-	dumpTarget := flag.Bool("dump-target", true, "print the generated split-phase code")
+	passList := flag.String("passes", "", "explicit comma-separated pass list (default: the level's pipeline)")
+	dumpAfter := flag.String("dump-after", "", "dump compiler state after these passes (comma list)")
+	dumpAST := flag.Bool("dump-ast", false, "dump the parsed program (after parse)")
+	dumpIR := flag.Bool("dump-ir", false, "dump the mid-level IR (after build-ir)")
+	dumpTarget := flag.Bool("dump-target", true, "dump the generated split-phase code (after the final pass)")
+	passStats := flag.Bool("pass-stats", false, "print per-pass wall time, allocations, and counters")
 	summary := flag.Bool("summary", false, "print analysis statistics")
 	flag.Parse()
 
@@ -44,50 +58,139 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	lvl, err := parseLevel(*level)
+	lvl, err := splitc.ParseLevel(*level)
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := splitc.Compile(string(text), splitc.Options{
-		Procs: *procs, Level: lvl, CSE: *cse, Exact: *exact,
+	opts := splitc.Options{Procs: *procs, Level: lvl, CSE: *cse, Exact: *exact}
+
+	pl := &pass.Pipeline{MeasureAllocs: *passStats}
+	if *passList != "" {
+		pl.Passes, err = pass.ParseList(*passList)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg, err := splitc.PipelineConfig(opts)
+		if err != nil {
+			fatal(err)
+		}
+		pl.Passes = pass.Plan(cfg)
+	}
+
+	targetSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dump-target" {
+			targetSet = true
+		}
 	})
+	dumps, err := resolveDumps(*dumpAST, *dumpIR, *dumpTarget, targetSet, *dumpAfter, pl)
 	if err != nil {
 		fatal(err)
 	}
-	if *dumpAST {
-		fmt.Println("=== AST ===")
-		fmt.Println(source.Print(prog.AST))
+	pl.Observer = func(p pass.Pass, ctx *pass.Context) {
+		if !dumps[p.Name()] {
+			return
+		}
+		fmt.Printf("== %s ==\n", p.Name())
+		fmt.Println(dumpState(ctx))
 	}
-	if *dumpIR {
-		fmt.Println("=== IR ===")
-		fmt.Println(prog.IRText())
+
+	prog, err := splitc.CompilePipeline(string(text), opts, pl)
+	if prog != nil {
+		for _, d := range prog.Diags {
+			if d.Sev == diag.Warning {
+				fmt.Fprintln(os.Stderr, "pscc: "+d.String())
+			}
+		}
+	}
+	if err != nil {
+		fatal(err)
 	}
 	if *summary {
 		fmt.Println("=== analysis ===")
 		fmt.Println(prog.DelaySummary())
 		fmt.Printf("codegen: %+v\n", prog.Codegen)
 	}
-	if *dumpTarget {
-		fmt.Println("=== target ===")
-		fmt.Println(prog.TargetText())
+	if *passStats {
+		fmt.Print(formatPassStats(prog.Passes))
 	}
 }
 
-func parseLevel(s string) (splitc.Level, error) {
-	switch s {
-	case "blocking":
-		return splitc.LevelBlocking, nil
-	case "baseline":
-		return splitc.LevelBaseline, nil
-	case "pipelined":
-		return splitc.LevelPipelined, nil
-	case "oneway":
-		return splitc.LevelOneWay, nil
-	case "unsafe":
-		return splitc.LevelUnsafe, nil
-	default:
-		return 0, fmt.Errorf("unknown level %q", s)
+// resolveDumps maps each requested dump onto the pass it should follow.
+// The legacy flags are aliases: -dump-ast dumps after parse, -dump-ir after
+// build-ir, and -dump-target after the pipeline's final pass. -dump-target
+// stays on by default but yields when any other dump is requested without
+// it being set explicitly.
+func resolveDumps(dumpAST, dumpIR, dumpTarget, targetSet bool, dumpAfter string, pl *pass.Pipeline) (map[string]bool, error) {
+	dumps := make(map[string]bool)
+	has := func(name string) bool {
+		for _, p := range pl.Passes {
+			if p.Name() == name {
+				return true
+			}
+		}
+		return false
 	}
+	for _, name := range strings.Split(dumpAfter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := pass.Lookup(name); !ok {
+			return nil, fmt.Errorf("-dump-after: unknown pass %q", name)
+		}
+		if !has(name) {
+			return nil, fmt.Errorf("-dump-after: pass %q is not in the pipeline", name)
+		}
+		dumps[name] = true
+	}
+	if dumpAST {
+		dumps["parse"] = true
+	}
+	if dumpIR {
+		dumps["build-ir"] = true
+	}
+	if dumpTarget && (targetSet || len(dumps) == 0) {
+		dumps[pl.Passes[len(pl.Passes)-1].Name()] = true
+	}
+	return dumps, nil
+}
+
+// dumpState renders the most-derived compiler state available: target code
+// once split-phase has run, else the IR, else the parsed program.
+func dumpState(ctx *pass.Context) string {
+	if p := ctx.Prog(); p != nil {
+		return p.String()
+	}
+	if ctx.Fn != nil {
+		return ctx.Fn.String()
+	}
+	if ctx.AST != nil {
+		return source.Print(ctx.AST)
+	}
+	return "(no state)"
+}
+
+// formatPassStats renders the per-pass instrumentation table.
+func formatPassStats(stats []pass.Stat) string {
+	var b strings.Builder
+	b.WriteString("== pass stats ==\n")
+	width := 4
+	for _, st := range stats {
+		if len(st.Name) > width {
+			width = len(st.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %10s  counters\n", width, "pass", "wall", "allocs")
+	for _, st := range stats {
+		parts := make([]string, 0, len(st.Counters))
+		for _, k := range st.CounterNames() {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, st.Counters[k]))
+		}
+		fmt.Fprintf(&b, "%-*s  %12s  %10d  %s\n", width, st.Name, st.Wall, st.Allocs, strings.Join(parts, " "))
+	}
+	return b.String()
 }
 
 func fatal(err error) {

@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	lvl, err := parseLevel(*level)
+	lvl, err := splitc.ParseLevel(*level)
 	if err != nil {
 		fatal(err)
 	}
@@ -95,23 +95,6 @@ func main() {
 			fmt.Println("  sc:  ", interp.FormatSnapshot(oracle.Memory))
 			os.Exit(1)
 		}
-	}
-}
-
-func parseLevel(s string) (splitc.Level, error) {
-	switch s {
-	case "blocking":
-		return splitc.LevelBlocking, nil
-	case "baseline":
-		return splitc.LevelBaseline, nil
-	case "pipelined":
-		return splitc.LevelPipelined, nil
-	case "oneway":
-		return splitc.LevelOneWay, nil
-	case "unsafe":
-		return splitc.LevelUnsafe, nil
-	default:
-		return 0, fmt.Errorf("unknown level %q", s)
 	}
 }
 

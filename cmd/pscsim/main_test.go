@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"repro"
 	"repro/internal/machine"
 )
 
@@ -12,12 +13,12 @@ func TestParseLevel(t *testing.T) {
 		"oneway": true, "unsafe": true, "bogus": false, "": false,
 	}
 	for name, ok := range cases {
-		_, err := parseLevel(name)
+		_, err := splitc.ParseLevel(name)
 		if ok && err != nil {
-			t.Errorf("parseLevel(%q): %v", name, err)
+			t.Errorf("ParseLevel(%q): %v", name, err)
 		}
 		if !ok && err == nil {
-			t.Errorf("parseLevel(%q): expected error", name)
+			t.Errorf("ParseLevel(%q): expected error", name)
 		}
 	}
 }

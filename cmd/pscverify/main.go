@@ -61,7 +61,7 @@ func main() {
 	progenN := flag.Int("progen", 0, "verify N generated programs instead of a file")
 	flag.Parse()
 
-	levels, err := parseLevels(*level)
+	levels, err := splitc.ParseLevels(*level)
 	if err != nil {
 		fatal(err)
 	}
@@ -231,32 +231,6 @@ func printViolations(rep *scverify.Report) {
 			fmt.Println(e.Error())
 		}
 	}
-}
-
-// parseLevels parses a comma-separated level list; "all" (or empty) means
-// the default blocking/pipelined/oneway comparison set.
-func parseLevels(s string) ([]splitc.Level, error) {
-	if s == "" || s == "all" {
-		return nil, nil
-	}
-	var out []splitc.Level
-	for _, name := range strings.Split(s, ",") {
-		switch strings.TrimSpace(name) {
-		case "blocking":
-			out = append(out, splitc.LevelBlocking)
-		case "baseline":
-			out = append(out, splitc.LevelBaseline)
-		case "pipelined":
-			out = append(out, splitc.LevelPipelined)
-		case "oneway":
-			out = append(out, splitc.LevelOneWay)
-		case "unsafe":
-			out = append(out, splitc.LevelUnsafe)
-		default:
-			return nil, fmt.Errorf("unknown level %q", name)
-		}
-	}
-	return out, nil
 }
 
 // parseWeaken parses "0-1,3-4" into delay pairs.

@@ -8,10 +8,10 @@ import (
 )
 
 func TestParseLevels(t *testing.T) {
-	if lv, err := parseLevels("all"); err != nil || lv != nil {
-		t.Errorf("parseLevels(all) = %v, %v; want nil default", lv, err)
+	if lv, err := splitc.ParseLevels("all"); err != nil || lv != nil {
+		t.Errorf("splitc.ParseLevels(all) = %v, %v; want nil default", lv, err)
 	}
-	lv, err := parseLevels("blocking, oneway")
+	lv, err := splitc.ParseLevels("blocking, oneway")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestParseLevels(t *testing.T) {
 	if len(lv) != len(want) || lv[0] != want[0] || lv[1] != want[1] {
 		t.Errorf("parseLevels = %v, want %v", lv, want)
 	}
-	if _, err := parseLevels("bogus"); err == nil {
+	if _, err := splitc.ParseLevels("bogus"); err == nil {
 		t.Error("expected error for unknown level")
 	}
 }

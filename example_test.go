@@ -1,0 +1,39 @@
+package splitc_test
+
+import (
+	"fmt"
+
+	splitc "repro"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+// Example is the package godoc's quick start, compiled and checked: build a
+// MiniSplit program at the highest optimization level and run it on a
+// simulated CM-5.
+func Example() {
+	src := `
+shared int Sum;
+lock m;
+func main() {
+    local int mine = MYPROC + 1;
+    lock(m);
+    Sum = Sum + mine;
+    unlock(m);
+    barrier;
+    if (MYPROC == 0) {
+        print("sum", Sum);
+    }
+}
+`
+	prog, err := splitc.Compile(src, splitc.Options{Procs: 8, Level: splitc.LevelOneWay})
+	if err != nil {
+		panic(err)
+	}
+	res, err := prog.Run(machine.CM5(8), interp.RunOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Prints[0])
+	// Output: [p0] sum 36
+}

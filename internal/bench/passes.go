@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro"
+	"repro/internal/apps"
+)
+
+// PassStatsRow is one (kernel, level, pass) record of the pass-counter
+// table: which named pass ran and what it did, with no timings so the
+// output is deterministic and diffable.
+type PassStatsRow struct {
+	Kernel   string         `json:"kernel"`
+	Level    string         `json:"level"`
+	Pass     string         `json:"pass"`
+	Counters map[string]int `json:"counters,omitempty"`
+}
+
+// RunPassStats compiles every application kernel at the Figure 12 levels
+// through the instrumented pipeline and collects each pass's counters.
+func RunPassStats(procs, scale int) ([]PassStatsRow, error) {
+	var rows []PassStatsRow
+	for _, k := range apps.All() {
+		src := k.Source(procs, scale)
+		for _, lvl := range fig12Levels {
+			prog, err := splitc.Compile(src, splitc.Options{Procs: procs, Level: lvl, CSE: lvl != splitc.LevelBaseline})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", k.Name, lvl, err)
+			}
+			for _, st := range prog.Passes {
+				rows = append(rows, PassStatsRow{
+					Kernel:   k.Name,
+					Level:    lvl.String(),
+					Pass:     st.Name,
+					Counters: st.Counters,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// FormatPassStats renders the pass-counter table.
+func FormatPassStats(rows []PassStatsRow, procs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pass counters by kernel and level (procs=%d)\n", procs)
+	cur := ""
+	for _, r := range rows {
+		head := r.Kernel + " @ " + r.Level
+		if head != cur {
+			cur = head
+			fmt.Fprintf(&b, "\n%s\n", head)
+		}
+		keys := make([]string, 0, len(r.Counters))
+		for k := range r.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s=%d", k, r.Counters[k])
+		}
+		fmt.Fprintf(&b, "  %-13s %s\n", r.Pass, strings.Join(parts, " "))
+	}
+	return b.String()
+}

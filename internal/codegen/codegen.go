@@ -65,38 +65,134 @@ type Stats struct {
 	CountersSaved   int // counter renames performed by allocation
 }
 
+// Sub returns the counter-by-counter difference s minus prev. The pass
+// pipeline snapshots Stats around each step to attribute counters to the
+// pass that earned them.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		GetsEliminated:  s.GetsEliminated - prev.GetsEliminated,
+		GetsForwarded:   s.GetsForwarded - prev.GetsForwarded,
+		GetsDead:        s.GetsDead - prev.GetsDead,
+		GetsCached:      s.GetsCached - prev.GetsCached,
+		GetsHoistedLICM: s.GetsHoistedLICM - prev.GetsHoistedLICM,
+		PutsEliminated:  s.PutsEliminated - prev.PutsEliminated,
+		PutsConverted:   s.PutsConverted - prev.PutsConverted,
+		SyncsPlaced:     s.SyncsPlaced - prev.SyncsPlaced,
+		SyncsAtBarriers: s.SyncsAtBarriers - prev.SyncsAtBarriers,
+		SyncsDropped:    s.SyncsDropped - prev.SyncsDropped,
+		InitsHoisted:    s.InitsHoisted - prev.InitsHoisted,
+		CountersShared:  s.CountersShared - prev.CountersShared,
+		CountersSaved:   s.CountersSaved - prev.CountersSaved,
+	}
+}
+
+// Map returns the non-zero counters keyed by snake_case name, the form the
+// pass pipeline reports in -pass-stats output.
+func (s Stats) Map() map[string]int {
+	m := make(map[string]int)
+	add := func(k string, v int) {
+		if v != 0 {
+			m[k] = v
+		}
+	}
+	add("gets_eliminated", s.GetsEliminated)
+	add("gets_forwarded", s.GetsForwarded)
+	add("gets_dead", s.GetsDead)
+	add("gets_cached", s.GetsCached)
+	add("gets_hoisted_licm", s.GetsHoistedLICM)
+	add("puts_eliminated", s.PutsEliminated)
+	add("puts_converted", s.PutsConverted)
+	add("syncs_placed", s.SyncsPlaced)
+	add("syncs_at_barriers", s.SyncsAtBarriers)
+	add("syncs_dropped", s.SyncsDropped)
+	add("inits_hoisted", s.InitsHoisted)
+	add("counters_shared", s.CountersShared)
+	add("counters_saved", s.CountersSaved)
+	return m
+}
+
 // Result is the compiled program plus optimizer statistics.
 type Result struct {
 	Prog  *target.Prog
 	Stats Stats
 }
 
-// Generate compiles fn with the given delay set and options.
+// Generate compiles fn with the given delay set and options. It is the
+// canonical composition of the stepwise Generator API below; the pass
+// pipeline (internal/pass) invokes the same steps one named pass at a time.
 func Generate(fn *ir.Fn, opts Options) *Result {
-	g := &generator{fn: fn, opts: opts}
+	g := New(fn, opts)
+	g.Lower()
+	if opts.CSE {
+		g.EliminateDeadGets()
+		g.EliminateLocal()
+		g.HoistLoopInvariant()
+		g.GlobalReuse()
+	}
+	if opts.Hoist {
+		g.Hoist()
+	}
+	g.PlaceSyncs()
+	if opts.OneWay {
+		g.ConvertOneWay()
+	}
+	g.AllocateCounters()
+	g.InsertSyncs()
+	return g.Result()
+}
+
+// New prepares a Generator. Call Lower first, then any optimization steps
+// (the CSE family must precede Hoist, which must precede PlaceSyncs;
+// ConvertOneWay requires PlaceSyncs; AllocateCounters and InsertSyncs come
+// last, in that order — Generate shows the canonical sequence).
+func New(fn *ir.Fn, opts Options) *Generator {
+	g := &Generator{fn: fn, opts: opts}
 	if len(opts.Weaken) > 0 {
 		g.weak = make(map[delay.Pair]bool, len(opts.Weaken))
 		for _, p := range opts.Weaken {
 			g.weak[p] = true
 		}
 	}
-	g.lower()
-	if opts.CSE {
-		g.eliminateDeadGets()
-		g.eliminate()
-		g.hoistLoopInvariantGets()
-		g.globalReuse()
+	return g
+}
+
+// Lower mirrors the IR into split-phase target form (every Load a get,
+// every Store a put, each on a fresh counter; no syncs yet).
+func (g *Generator) Lower() { g.lower() }
+
+// PlaceSyncs computes every initiation's sync positions, pushing syncs
+// forward through the CFG when Options.Pipeline is set (section 6's motion
+// rules) and pinning them at the initiation otherwise.
+func (g *Generator) PlaceSyncs() { g.placeSyncs() }
+
+// ConvertOneWay rewrites puts whose syncs all land at barriers (or fell off
+// the program end) into unacknowledged stores. Requires PlaceSyncs.
+func (g *Generator) ConvertOneWay() { g.convertOneWay() }
+
+// InsertSyncs materializes the placed sync_ctr statements. Run last.
+func (g *Generator) InsertSyncs() { g.insertSyncs() }
+
+// Prog returns the program being generated (valid after Lower).
+func (g *Generator) Prog() *target.Prog { return g.prog }
+
+// Stats returns a snapshot of the optimizer statistics so far.
+func (g *Generator) Stats() Stats { return g.stats }
+
+// Result packages the generated program and final statistics.
+func (g *Generator) Result() *Result { return &Result{Prog: g.prog, Stats: g.stats} }
+
+// SyncSites reports the sync placements computed so far: the number of
+// placed positions (before counter merging collapses co-located syncs) and
+// the number of sync copies that fell off the program end.
+func (g *Generator) SyncSites() (placed, dropped int) {
+	for _, info := range g.infos {
+		if info.removed {
+			continue
+		}
+		placed += len(info.positions)
+		dropped += info.dropped
 	}
-	if opts.Hoist {
-		g.hoist()
-	}
-	g.placeSyncs()
-	if opts.OneWay {
-		g.convertOneWay()
-	}
-	g.allocateCounters()
-	g.insertSyncs()
-	return &Result{Prog: g.prog, Stats: g.stats}
+	return placed, dropped
 }
 
 type accInfo struct {
@@ -116,7 +212,7 @@ type pos struct {
 	why target.Cause
 }
 
-type generator struct {
+type Generator struct {
 	fn    *ir.Fn
 	opts  Options
 	prog  *target.Prog
@@ -128,7 +224,7 @@ type generator struct {
 // delayOrders reports whether the delay set orders a's completion before
 // b's initiation, honoring the Weaken list (a weakened pair is treated as
 // absent, seeding a verifiable SC violation).
-func (g *generator) delayOrders(a, b int) bool {
+func (g *Generator) delayOrders(a, b int) bool {
 	if !g.opts.Delays.Has(a, b) {
 		return false
 	}
@@ -137,7 +233,7 @@ func (g *generator) delayOrders(a, b int) bool {
 
 // lower mirrors the IR CFG into target form, turning Loads into Gets and
 // Stores into Puts, each with a fresh counter. No syncs are inserted yet.
-func (g *generator) lower() {
+func (g *Generator) lower() {
 	fn := g.fn
 	g.prog = &target.Prog{Fn: fn}
 	g.infos = make(map[int]*accInfo)
@@ -255,7 +351,7 @@ func stmtWritesLocal(s target.Stmt, id ir.LocalID) bool {
 // blocksMotion reports whether the sync for access a (a get into dst when
 // isGet) must execute before statement s, and if so which constraint
 // stopped it (recorded as the sync's provenance).
-func (g *generator) blocksMotion(a *accInfo, s target.Stmt) (target.Cause, bool) {
+func (g *Generator) blocksMotion(a *accInfo, s target.Stmt) (target.Cause, bool) {
 	// Local def-use: the fetched value must be valid before any use, and
 	// the in-flight reply must land before any redefinition of the
 	// destination (the arrival would clobber the newer value).
@@ -285,7 +381,7 @@ func (g *generator) blocksMotion(a *accInfo, s target.Stmt) (target.Cause, bool)
 // placeSyncs computes, for every initiation, where its sync_ctr must be
 // inserted, by pushing the sync forward through the CFG (the motion
 // algorithm of section 6).
-func (g *generator) placeSyncs() {
+func (g *Generator) placeSyncs() {
 	for _, blk := range g.prog.Blocks {
 		for idx, s := range blk.Stmts {
 			var info *accInfo
@@ -313,7 +409,7 @@ func (g *generator) placeSyncs() {
 // push advances a sync from (blk, idx) forward until blocked, propagating
 // copies into successors at block ends (rule 1), merging duplicate copies
 // (rule 2b), and dropping copies that reach the end of the program.
-func (g *generator) push(info *accInfo, blk *target.Block, idx int) {
+func (g *Generator) push(info *accInfo, blk *target.Block, idx int) {
 	type wpos struct {
 		blk *target.Block
 		idx int
@@ -376,7 +472,7 @@ func (g *generator) push(info *accInfo, blk *target.Block, idx int) {
 // convertOneWay rewrites puts whose syncs all land immediately before a
 // barrier (or fell off the program end) into one-way stores, deleting the
 // syncs: the barrier's implicit all-store-sync provides the completion.
-func (g *generator) convertOneWay() {
+func (g *Generator) convertOneWay() {
 	for _, blk := range g.prog.Blocks {
 		for idx, s := range blk.Stmts {
 			put, ok := s.(*target.Put)
@@ -405,7 +501,7 @@ func (g *generator) convertOneWay() {
 // posAtBarrier reports whether the position is immediately before a
 // barrier statement (skipping other pending syncs is unnecessary: syncs
 // are not yet materialized).
-func (g *generator) posAtBarrier(p pos) bool {
+func (g *Generator) posAtBarrier(p pos) bool {
 	if p.idx >= len(p.blk.Stmts) {
 		return false
 	}
@@ -416,7 +512,7 @@ func (g *generator) posAtBarrier(p pos) bool {
 // insertSyncs materializes the computed sync positions. Shared counters
 // collapse to one sync_ctr per (position, counter); the collapsed sync's
 // Why accumulates the provenance of every access syncing there.
-func (g *generator) insertSyncs() {
+func (g *Generator) insertSyncs() {
 	type ins struct {
 		idx int
 		ctr target.Ctr

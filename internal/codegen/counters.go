@@ -17,7 +17,7 @@ import (
 //
 // Runs after sync placement and one-way conversion; insertSyncs then emits
 // a single sync_ctr per (position, counter) pair.
-func (g *generator) allocateCounters() {
+func (g *Generator) allocateCounters() {
 	// Signature: the sorted set of placement positions plus whether any
 	// copy dropped off the end. Accesses in different blocks can share a
 	// counter only via identical position sets, which also implies their
@@ -95,3 +95,7 @@ func signature(info *accInfo) string {
 	}
 	return s
 }
+
+// AllocateCounters merges accesses with identical sync signatures onto
+// shared counters and numbers the survivors. Run after sync placement.
+func (g *Generator) AllocateCounters() { g.allocateCounters() }

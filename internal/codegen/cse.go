@@ -11,7 +11,7 @@ import (
 // nobody reads is pure waste. This runs on the freshly lowered program,
 // where target statement positions still mirror the IR (Access.Blk/Idx),
 // so the IR liveness answers the question directly.
-func (g *generator) eliminateDeadGets() {
+func (g *Generator) eliminateDeadGets() {
 	lv := dataflow.ComputeLiveness(g.fn)
 	for _, blk := range g.prog.Blocks {
 		var out []target.Stmt
@@ -46,7 +46,7 @@ func (g *generator) eliminateDeadGets() {
 // (post, unlock, barrier) may expose the first put to another processor.
 // Index expressions must also mean the same thing at both points, so any
 // redefinition of a local used in the address invalidates the entry.
-func (g *generator) eliminate() {
+func (g *Generator) eliminate() {
 	for _, blk := range g.prog.Blocks {
 		g.eliminateInBlock(blk)
 	}
@@ -63,7 +63,7 @@ type availPut struct {
 	live bool
 }
 
-func (g *generator) eliminateInBlock(blk *target.Block) {
+func (g *Generator) eliminateInBlock(blk *target.Block) {
 	fn := g.fn
 	var gets []availGet
 	var puts []availPut
@@ -226,3 +226,11 @@ func forwardable(e ir.Expr) bool {
 	}
 	return false
 }
+
+// EliminateDeadGets removes gets whose destination is never read. Part of
+// the CSE family; runs before EliminateLocal.
+func (g *Generator) EliminateDeadGets() { g.eliminateDeadGets() }
+
+// EliminateLocal performs per-block redundancy elimination: duplicate gets
+// collapse onto one counter and overwritten puts are dropped (write-back).
+func (g *Generator) EliminateLocal() { g.eliminate() }

@@ -34,7 +34,7 @@ type availEntry struct {
 }
 
 // scanGets runs the availability transfer function over one block.
-func (g *generator) scanGets(in []availEntry, blk *target.Block) []availEntry {
+func (g *Generator) scanGets(in []availEntry, blk *target.Block) []availEntry {
 	entries := append([]availEntry(nil), in...)
 	fn := g.fn
 
@@ -107,7 +107,7 @@ func intersectAvail(a, b []availEntry) []availEntry {
 }
 
 // globalReuse runs the availability fixpoint and rewrites redundant gets.
-func (g *generator) globalReuse() {
+func (g *Generator) globalReuse() {
 	nb := len(g.prog.Blocks)
 	in := make([][]availEntry, nb)
 	out := make([][]availEntry, nb)
@@ -181,7 +181,7 @@ func sameAvail(a, b []availEntry) bool {
 
 // rewriteWithAvail replays the transfer function over a block, replacing
 // gets whose address is already cached.
-func (g *generator) rewriteWithAvail(in []availEntry, blk *target.Block) {
+func (g *Generator) rewriteWithAvail(in []availEntry, blk *target.Block) {
 	entries := append([]availEntry(nil), in...)
 	fn := g.fn
 
@@ -264,3 +264,7 @@ func (g *generator) rewriteWithAvail(in []availEntry, blk *target.Block) {
 	}
 	blk.Stmts = outStmts
 }
+
+// GlobalReuse runs the global availability dataflow that rewrites gets of
+// already-fetched locations into copies (section 7's communication reuse).
+func (g *Generator) GlobalReuse() { g.globalReuse() }

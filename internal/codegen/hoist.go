@@ -29,13 +29,13 @@ import (
 //   - the statement may touch the same shared address on this processor
 //     (write-read / read-write / write-write ordering), except that two
 //     reads commute.
-func (g *generator) hoist() {
+func (g *Generator) hoist() {
 	for _, blk := range g.prog.Blocks {
 		g.hoistInBlock(blk)
 	}
 }
 
-func (g *generator) hoistInBlock(blk *target.Block) {
+func (g *Generator) hoistInBlock(blk *target.Block) {
 	// Bubble initiations upward to a fixpoint. Blocks are short; the
 	// quadratic sweep is fine.
 	changed := true
@@ -104,7 +104,7 @@ func stmtDefines(s target.Stmt) (ir.LocalID, bool) {
 }
 
 // canSwap reports whether initiation cur may move above prev.
-func (g *generator) canSwap(prev, cur target.Stmt) bool {
+func (g *Generator) canSwap(prev, cur target.Stmt) bool {
 	curAcc := accessOfTarget(cur)
 	if curAcc == nil {
 		return false
@@ -159,3 +159,7 @@ func (g *generator) canSwap(prev, cur target.Stmt) bool {
 	}
 	return true
 }
+
+// Hoist bubbles initiations upward past independent statements to widen
+// the overlap window (message pipelining, section 6).
+func (g *Generator) Hoist() { g.hoist() }

@@ -31,7 +31,7 @@ import (
 // crossing the loop-head branch is a pure control transfer; delay edges
 // from accesses in the preheader still take effect because the sync
 // placement runs afterwards on the rewritten program.
-func (g *generator) hoistLoopInvariantGets() {
+func (g *Generator) hoistLoopInvariantGets() {
 	dom := ir.BuildDom(g.fn) // target blocks mirror IR block IDs
 	blocks := g.prog.Blocks
 
@@ -100,7 +100,7 @@ func naturalLoop(blocks []*target.Block, head, latch int) map[int]bool {
 }
 
 // hoistFromLoop moves eligible gets from the loop body to the preheader.
-func (g *generator) hoistFromLoop(body map[int]bool, latch int, pre *target.Block, dom *ir.DomTree) {
+func (g *Generator) hoistFromLoop(body map[int]bool, latch int, pre *target.Block, dom *ir.DomTree) {
 	fn := g.fn
 	// Collect the loop's kill facts in one pass.
 	localsWritten := map[ir.LocalID]bool{}
@@ -203,7 +203,7 @@ func (g *generator) hoistFromLoop(body map[int]bool, latch int, pre *target.Bloc
 
 // dstWrittenElsewhere reports whether the get's destination is defined by
 // any other statement inside the loop.
-func (g *generator) dstWrittenElsewhere(body map[int]bool, get *target.Get) bool {
+func (g *Generator) dstWrittenElsewhere(body map[int]bool, get *target.Get) bool {
 	for _, b := range g.prog.Blocks {
 		if !body[b.ID] {
 			continue
@@ -222,7 +222,7 @@ func (g *generator) dstWrittenElsewhere(body map[int]bool, get *target.Get) bool
 
 // localUsedOutside reports whether the local is read by any statement or
 // terminator outside the loop.
-func (g *generator) localUsedOutside(body map[int]bool, id ir.LocalID) bool {
+func (g *Generator) localUsedOutside(body map[int]bool, id ir.LocalID) bool {
 	for _, b := range g.prog.Blocks {
 		if body[b.ID] {
 			continue
@@ -248,3 +248,6 @@ func removeStmt(list []target.Stmt, s target.Stmt) []target.Stmt {
 	}
 	return out
 }
+
+// HoistLoopInvariant moves loop-invariant gets into loop preheaders.
+func (g *Generator) HoistLoopInvariant() { g.hoistLoopInvariantGets() }

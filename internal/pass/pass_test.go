@@ -1,0 +1,139 @@
+package pass
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+const ringSrc = `
+shared int Trace[8];
+event tok[8];
+func main() {
+    if (MYPROC > 0) { wait(tok[MYPROC]); }
+    Trace[MYPROC] = MYPROC * 10 + 1;
+    if (MYPROC < PROCS - 1) { post(tok[MYPROC + 1]); }
+}
+`
+
+func fullConfig() Config {
+	return Config{Procs: 8, Motion: true, Hoist: true, OneWay: true, CSE: true}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, name := range Names() {
+		if seen[name] {
+			t.Errorf("duplicate pass name %q", name)
+		}
+		seen[name] = true
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("Names() lists %q but Lookup fails", name)
+		}
+	}
+	for _, cfg := range []Config{{}, fullConfig(), {Motion: true}, {CSE: true}} {
+		for _, name := range PlanNames(cfg) {
+			if !seen[name] {
+				t.Errorf("PlanNames(%+v) includes unregistered pass %q", cfg, name)
+			}
+		}
+	}
+	if _, ok := Lookup("no-such-pass"); ok {
+		t.Error("Lookup of unknown pass succeeded")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	ps, err := ParseList(" parse, check ,build-ir ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[2].Name() != "build-ir" {
+		t.Errorf("ParseList = %v", ps)
+	}
+	if _, err := ParseList("parse,bogus"); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("ParseList(bogus) err = %v", err)
+	}
+	if _, err := ParseList(" , "); err == nil {
+		t.Error("empty list should fail")
+	}
+}
+
+func TestPipelineRunsAndCounts(t *testing.T) {
+	cfg := fullConfig()
+	ctx := NewContext(ringSrc, cfg)
+	var order []string
+	pl := &Pipeline{
+		Passes:        Plan(cfg),
+		MeasureAllocs: true,
+		Observer:      func(p Pass, _ *Context) { order = append(order, p.Name()) },
+	}
+	stats, err := pl.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Prog() == nil {
+		t.Fatal("no target program after full pipeline")
+	}
+	want := PlanNames(cfg)
+	if len(order) != len(want) {
+		t.Fatalf("observer fired %d times, want %d", len(order), len(want))
+	}
+	byName := make(map[string]Stat)
+	for i, st := range stats {
+		if st.Name != want[i] {
+			t.Errorf("stats[%d] = %s, want %s", i, st.Name, want[i])
+		}
+		byName[st.Name] = st
+	}
+	if byName["build-ir"].Counters["accesses"] == 0 {
+		t.Error("build-ir reported no accesses")
+	}
+	if byName["cycle-detect"].Counters["baseline_delays"] == 0 {
+		t.Error("cycle-detect reported no baseline delays")
+	}
+	if byName["insert-syncs"].Counters["stores"] == 0 {
+		t.Error("one-way ring should end with stores")
+	}
+	if byName["parse"].Allocs == 0 {
+		t.Error("MeasureAllocs left parse allocs at 0")
+	}
+	if ctx.Analysis.Timing.Total() <= 0 {
+		t.Error("analysis sub-phase timing not populated")
+	}
+}
+
+func TestUnsafeCompileWarns(t *testing.T) {
+	cfg := fullConfig()
+	cfg.Delays = DelayNone
+	ctx := NewContext(ringSrc, cfg)
+	if _, err := (&Pipeline{Passes: Plan(cfg)}).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	warns := ctx.Diags.BySeverity(diag.Warning)
+	if len(warns) == 0 {
+		t.Fatal("empty delay set should warn")
+	}
+	if warns[0].Pass != "split-phase" {
+		t.Errorf("warning attributed to %q, want split-phase", warns[0].Pass)
+	}
+}
+
+func TestParseErrorIsStructured(t *testing.T) {
+	ctx := NewContext("not a program", Config{Procs: 2})
+	_, err := (&Pipeline{Passes: Plan(Config{Procs: 2})}).Run(ctx)
+	if err == nil {
+		t.Fatal("parse error expected")
+	}
+	d, ok := err.(*diag.Diagnostic)
+	if !ok {
+		t.Fatalf("error is %T, want *diag.Diagnostic", err)
+	}
+	if d.Pass != "parse" || d.Sev != diag.Error {
+		t.Errorf("diagnostic = %+v, want parse/error", d)
+	}
+	if !d.Pos.IsValid() {
+		t.Error("parse diagnostic lost its source position")
+	}
+}

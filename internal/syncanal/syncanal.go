@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/conflict"
 	"repro/internal/delay"
@@ -91,6 +92,50 @@ func (r *Precedence) transClose() bool {
 	return changed
 }
 
+// Timing records the wall time of each analysis sub-phase, so drivers (and
+// the pass pipeline's `sync-analysis` stage) can report where analysis time
+// goes without re-instrumenting the algorithm.
+type Timing struct {
+	// Prepare covers the shared inputs: access graph, conflict set,
+	// dominator and postdominator trees.
+	Prepare time.Duration
+	// Baseline is the plain Shasha–Snir delay-set computation.
+	Baseline time.Duration
+	// D1 is the synchronization-restricted initial delay set (step 2).
+	D1 time.Duration
+	// Precedence covers seeding and refining R (steps 3–4).
+	Precedence time.Duration
+	// Guards is the lock-guard computation (section 5.3).
+	Guards time.Duration
+	// CoPhase is the barrier phase partitioning (section 5.2).
+	CoPhase time.Duration
+	// Orient covers the oriented back-path searches and the final union
+	// (steps 5–6).
+	Orient time.Duration
+}
+
+// Total sums the sub-phase times.
+func (t Timing) Total() time.Duration {
+	return t.Prepare + t.Baseline + t.D1 + t.Precedence + t.Guards + t.CoPhase + t.Orient
+}
+
+// String renders the timing as one line per sub-phase.
+func (t Timing) String() string {
+	var sb strings.Builder
+	for _, row := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"prepare", t.Prepare}, {"baseline", t.Baseline}, {"d1", t.D1},
+		{"precedence", t.Precedence}, {"guards", t.Guards},
+		{"cophase", t.CoPhase}, {"orient", t.Orient},
+	} {
+		fmt.Fprintf(&sb, "%-12s %s\n", row.name, row.d)
+	}
+	fmt.Fprintf(&sb, "%-12s %s\n", "total", t.Total())
+	return sb.String()
+}
+
 // Result carries everything the analysis computed.
 type Result struct {
 	Fn   *ir.Fn
@@ -113,10 +158,25 @@ type Result struct {
 	// analysis is disabled): CoPhase[x*n+y] reports that accesses x and y
 	// can appear in a common barrier-free region.
 	CoPhase []bool
+	// Timing records how long each sub-phase took.
+	Timing Timing
 }
 
-// Analyze runs the full pipeline on fn.
+// Analyze runs the full pipeline on fn. It is the composition of the three
+// sub-phases the pass pipeline runs separately: Prepare (shared inputs),
+// ComputeBaseline (Shasha–Snir cycle detection), and RefineSync (the
+// synchronization analysis of section 5).
 func Analyze(fn *ir.Fn, opts Options) *Result {
+	res := Prepare(fn)
+	res.ComputeBaseline(opts)
+	res.RefineSync(opts)
+	return res
+}
+
+// Prepare builds the inputs every delay computation shares: the access
+// graph, the conflict set, and the dominator/postdominator trees.
+func Prepare(fn *ir.Fn) *Result {
+	t0 := time.Now()
 	res := &Result{
 		Fn:   fn,
 		AG:   ir.BuildAccessGraph(fn),
@@ -124,9 +184,27 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 		Dom:  ir.BuildDom(fn),
 		PDom: ir.BuildPostDom(fn),
 	}
+	res.Timing.Prepare = time.Since(t0)
+	return res
+}
+
+// ComputeBaseline computes the plain Shasha–Snir delay set (no
+// synchronization analysis) into res.Baseline. Requires Prepare.
+func (res *Result) ComputeBaseline(opts Options) {
+	t0 := time.Now()
 	res.Baseline = delay.Compute(res.AG, res.CS, delay.Constraints{Exact: opts.Exact, Reference: opts.Reference})
+	res.Timing.Baseline = time.Since(t0)
+}
+
+// RefineSync runs steps 2–6 of section 5.1: the synchronization-restricted
+// initial delay set D1, the precedence relation R, lock guards, barrier
+// phase partitioning, and the final refined delay set D. Requires Prepare
+// (but not ComputeBaseline).
+func (res *Result) RefineSync(opts Options) {
+	fn := res.Fn
 
 	// Step 2: D1.
+	t0 := time.Now()
 	isSyncPair := func(a, b int) bool {
 		return fn.Accesses[a].Kind.IsSync() || fn.Accesses[b].Kind.IsSync()
 	}
@@ -135,8 +213,10 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 		Exact:      opts.Exact,
 		Reference:  opts.Reference,
 	})
+	res.Timing.D1 = time.Since(t0)
 
 	// Step 3: seed R.
+	t0 = time.Now()
 	n := len(fn.Accesses)
 	res.R = NewPrecedence(n)
 	for _, a := range fn.Accesses {
@@ -159,13 +239,16 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 
 	// Step 4: close R under the dominator rule and transitivity.
 	res.refineR()
+	res.Timing.Precedence = time.Since(t0)
 
 	// Lock guards (section 5.3).
+	t0 = time.Now()
 	if !opts.NoLocks {
 		res.Guards = computeGuards(res)
 	} else {
 		res.Guards = map[int]map[string]bool{}
 	}
+	res.Timing.Guards = time.Since(t0)
 
 	// Barrier phase partitioning (section 5.2): two data accesses that
 	// never share a barrier-free region cannot execute concurrently when
@@ -174,12 +257,15 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 	// barrier->read delays that actually enforce the phase separation are
 	// sync-involving pairs and are computed without this filter (and kept
 	// wholesale through D1).
+	t0 = time.Now()
 	if opts.NoBarrier {
 		res.CoPhase = nil
 	} else {
 		res.CoPhase = buildCoPhase(fn, res.AG)
 	}
+	res.Timing.CoPhase = time.Since(t0)
 
+	t0 = time.Now()
 	cophase := func(x, y int) bool {
 		if res.CoPhase == nil {
 			return true
@@ -233,7 +319,7 @@ func Analyze(fn *ir.Fn, opts Options) *Result {
 		Reference:   opts.Reference,
 	})
 	res.D = res.D1.Union(syncPairs).Union(dataPairs)
-	return res
+	res.Timing.Orient = time.Since(t0)
 }
 
 // buildCoPhase computes the symmetric co-phase relation: CoPhase[x][y] is

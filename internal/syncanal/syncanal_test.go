@@ -412,3 +412,39 @@ func TestFigure5ExactBaseline(t *testing.T) {
 		}
 	}
 }
+
+// The pass pipeline runs the analysis as three separately-invokable
+// sub-phases; their composition must reproduce Analyze exactly, and the
+// sub-phase timings must be populated.
+func TestSubPhasesMatchAnalyze(t *testing.T) {
+	fn := ir.MustBuild(figure5, ir.BuildOptions{Procs: 2})
+	whole := Analyze(fn, Options{})
+
+	split := Prepare(fn)
+	split.ComputeBaseline(Options{})
+	split.RefineSync(Options{})
+
+	if got, want := split.Baseline.Size(), whole.Baseline.Size(); got != want {
+		t.Errorf("Baseline size %d != %d", got, want)
+	}
+	if got, want := split.D1.Size(), whole.D1.Size(); got != want {
+		t.Errorf("D1 size %d != %d", got, want)
+	}
+	if got, want := split.D.Size(), whole.D.Size(); got != want {
+		t.Errorf("D size %d != %d", got, want)
+	}
+	for _, p := range whole.D.Pairs() {
+		if !split.D.Has(p.A, p.B) {
+			t.Errorf("split D missing pair %d-%d", p.A, p.B)
+		}
+	}
+	if got, want := split.R.Size(), whole.R.Size(); got != want {
+		t.Errorf("R size %d != %d", got, want)
+	}
+	if split.Timing.Total() <= 0 {
+		t.Error("sub-phase timing not recorded")
+	}
+	if s := split.Timing.String(); s == "" {
+		t.Error("Timing.String empty")
+	}
+}

@@ -20,12 +20,15 @@ package splitc
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/delay"
+	"repro/internal/diag"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/pass"
 	"repro/internal/sem"
 	"repro/internal/source"
 	"repro/internal/syncanal"
@@ -73,6 +76,40 @@ func (l Level) String() string {
 	}
 }
 
+// Levels lists every optimization level in ascending order.
+func Levels() []Level {
+	return []Level{LevelBlocking, LevelBaseline, LevelPipelined, LevelOneWay, LevelUnsafe}
+}
+
+// ParseLevel resolves a level name ("blocking", "baseline", "pipelined",
+// "oneway", "unsafe") as printed by Level.String. All the command-line
+// drivers share this parser.
+func ParseLevel(name string) (Level, error) {
+	for _, l := range Levels() {
+		if name == l.String() {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q", name)
+}
+
+// ParseLevels resolves a comma-separated level list. The empty string and
+// "all" mean nil, which drivers interpret as their own default grid.
+func ParseLevels(spec string) ([]Level, error) {
+	if spec == "" || spec == "all" {
+		return nil, nil
+	}
+	var out []Level
+	for _, name := range strings.Split(spec, ",") {
+		l, err := ParseLevel(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
 // Options configures compilation.
 type Options struct {
 	// Procs fixes the machine size at compile time (required; the
@@ -105,64 +142,105 @@ type Program struct {
 	Analysis *syncanal.Result
 	Target   *target.Prog
 	Codegen  codegen.Stats
+	// Passes records per-pass instrumentation (wall time, counters, and —
+	// when the driver asked for it — allocations) for the pipeline run
+	// that produced the program.
+	Passes []pass.Stat
+	// Diags holds the structured diagnostics the pipeline reported,
+	// including warnings from compiles that succeeded.
+	Diags []diag.Diagnostic
+}
+
+// PipelineConfig translates the public options into the pass layer's
+// Config. It is the single place the optimization levels are defined: a
+// level is nothing more than a preset pass configuration.
+func PipelineConfig(opts Options) (pass.Config, error) {
+	cfg := pass.Config{
+		Procs:  opts.Procs,
+		Exact:  opts.Exact,
+		CSE:    opts.CSE,
+		Weaken: opts.Weaken,
+	}
+	switch opts.Level {
+	case LevelBlocking:
+		cfg.Delays = pass.DelayFinal
+	case LevelBaseline:
+		cfg.Delays = pass.DelayBaseline
+		cfg.Motion = true
+	case LevelPipelined:
+		cfg.Delays = pass.DelayFinal
+		cfg.Motion = true
+		cfg.Hoist = !opts.NoHoist
+	case LevelOneWay:
+		cfg.Delays = pass.DelayFinal
+		cfg.Motion = true
+		cfg.OneWay = true
+		cfg.Hoist = !opts.NoHoist
+	case LevelUnsafe:
+		cfg.Delays = pass.DelayNone
+		cfg.Motion = true
+		cfg.OneWay = true
+	default:
+		return cfg, fmt.Errorf("splitc: unknown level %d", opts.Level)
+	}
+	return cfg, nil
+}
+
+// PassNames returns the names of the passes Compile would run for opts, in
+// execution order.
+func PassNames(opts Options) ([]string, error) {
+	cfg, err := PipelineConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pass.PlanNames(cfg), nil
 }
 
 // Compile parses, checks, analyzes, and compiles src for a machine of
-// opts.Procs processors.
+// opts.Procs processors. It runs the canonical pass pipeline for the
+// selected level; drivers that need instrumentation hooks use
+// CompilePipeline directly.
 func Compile(src string, opts Options) (*Program, error) {
+	return CompilePipeline(src, opts, nil)
+}
+
+// CompilePipeline compiles src through pl, a pipeline the caller may have
+// customized (explicit pass list, per-pass observer, allocation
+// measurement). A nil pl — or one with no explicit pass list — runs the
+// canonical pipeline for opts. On error the returned Program carries the
+// passes that did run and their diagnostics alongside the error.
+func CompilePipeline(src string, opts Options, pl *pass.Pipeline) (*Program, error) {
 	if opts.Procs <= 0 {
 		return nil, fmt.Errorf("splitc: Options.Procs must be positive")
 	}
-	ast, err := source.Parse(src)
+	cfg, err := PipelineConfig(opts)
 	if err != nil {
 		return nil, err
 	}
-	info, err := sem.Check(ast)
-	if err != nil {
-		return nil, err
+	if pl == nil {
+		pl = &pass.Pipeline{}
 	}
-	fn, err := ir.Build(info, ir.BuildOptions{Procs: opts.Procs})
-	if err != nil {
-		return nil, err
+	if pl.Passes == nil {
+		pl.Passes = pass.Plan(cfg)
 	}
-	analysis := syncanal.Analyze(fn, syncanal.Options{Exact: opts.Exact})
-
-	var cg codegen.Options
-	cg.CSE = opts.CSE
-	cg.Weaken = opts.Weaken
-	switch opts.Level {
-	case LevelBlocking:
-		cg.Delays = analysis.D
-	case LevelBaseline:
-		cg.Delays = analysis.Baseline
-		cg.Pipeline = true
-	case LevelPipelined:
-		cg.Delays = analysis.D
-		cg.Pipeline = true
-		cg.Hoist = !opts.NoHoist
-	case LevelOneWay:
-		cg.Delays = analysis.D
-		cg.Pipeline = true
-		cg.OneWay = true
-		cg.Hoist = !opts.NoHoist
-	case LevelUnsafe:
-		cg.Delays = delay.NewSet(fn)
-		cg.Pipeline = true
-		cg.OneWay = true
-	default:
-		return nil, fmt.Errorf("splitc: unknown level %d", opts.Level)
-	}
-	res := codegen.Generate(fn, cg)
-	return &Program{
+	ctx := pass.NewContext(src, cfg)
+	stats, err := pl.Run(ctx)
+	prog := &Program{
 		Source:   src,
 		Opts:     opts,
-		AST:      ast,
-		Info:     info,
-		Fn:       fn,
-		Analysis: analysis,
-		Target:   res.Prog,
-		Codegen:  res.Stats,
-	}, nil
+		AST:      ctx.AST,
+		Info:     ctx.Info,
+		Fn:       ctx.Fn,
+		Analysis: ctx.Analysis,
+		Target:   ctx.Prog(),
+		Codegen:  ctx.CodegenStats(),
+		Passes:   stats,
+		Diags:    ctx.Diags.All(),
+	}
+	if err != nil {
+		return prog, err
+	}
+	return prog, nil
 }
 
 // MustCompile is Compile for tests and examples; it panics on error.
