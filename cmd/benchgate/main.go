@@ -48,7 +48,9 @@ type metrics struct {
 
 // benchLine matches one `go test -bench` result line, e.g.
 // "BenchmarkInterpOcean-4   5   1108000 ns/op   94072 B/op   389 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+// Custom b.ReportMetric units (e.g. the model checker's "states") may
+// appear between ns/op and the allocation columns and are skipped.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(?:[\d.]+ \S+\s+)*?([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 // parseBench extracts name -> metrics from benchmark output. The trailing
 // -N GOMAXPROCS suffix is stripped so names match the baselines, and

@@ -15,6 +15,7 @@ BenchmarkInterpEM3D-4     	       5	    260000 ns/op	   56000 B/op	     200 allo
 BenchmarkInterpOcean-4    	       5	   5108000 ns/op	   94072 B/op	     389 allocs/op
 BenchmarkFigure12-4       	       3	  54000000 ns/op
 BenchmarkInterpEM3D-4     	       5	    240000 ns/op	   56000 B/op	     200 allocs/op
+BenchmarkEnumerateSC/dekker-4   	     100	     25000 ns/op	         6.000 states	   62418 B/op	     131 allocs/op
 PASS
 `
 
@@ -47,6 +48,14 @@ func TestParseBench(t *testing.T) {
 	fig := got["BenchmarkFigure12"]
 	if fig.NsOp == nil || fig.AllocsOp != nil {
 		t.Errorf("Figure12 = %+v, want ns/op only", fig)
+	}
+	// Custom b.ReportMetric units between ns/op and B/op are skipped.
+	enum := got["BenchmarkEnumerateSC/dekker"]
+	if enum.NsOp == nil || *enum.NsOp != 25000 {
+		t.Errorf("EnumerateSC/dekker ns/op = %v", enum.NsOp)
+	}
+	if enum.AllocsOp == nil || *enum.AllocsOp != 131 {
+		t.Errorf("EnumerateSC/dekker allocs/op = %v", enum.AllocsOp)
 	}
 }
 

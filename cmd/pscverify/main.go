@@ -29,6 +29,12 @@
 //	-list-delays    print the program's enforced delay pairs, marking the
 //	                ones whose removal changes the emitted code (candidates
 //	                for -weaken), then exit
+//	-max-states N   state budget for the exact SC outcome enumeration
+//	                (default: the verifier's 1,000,000-state budget)
+//	-enum-stats     print the model checker's exploration statistics
+//	                (states, transitions, deterministic steps, branch
+//	                points, peak depth) and the partial-order-reduction
+//	                factor against the unreduced reference enumerator
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	splitc "repro"
 	"repro/internal/apps"
 	"repro/internal/delay"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/progen"
@@ -59,6 +66,8 @@ func main() {
 	listDelays := flag.Bool("list-delays", false, "list enforced delay pairs and exit")
 	appsFlag := flag.String("apps", "", "verify paper kernel(s): a kernel name or \"all\"")
 	progenN := flag.Int("progen", 0, "verify N generated programs instead of a file")
+	maxStates := flag.Int("max-states", 0, "state budget for the exact SC enumeration (0 = verifier default)")
+	enumStats := flag.Bool("enum-stats", false, "print SC model-checker exploration statistics")
 	flag.Parse()
 
 	levels, err := splitc.ParseLevels(*level)
@@ -81,7 +90,9 @@ func main() {
 		Deterministic: *det,
 		Weaken:        pairs,
 		CSE:           *cse,
+		EnumBudget:    *maxStates,
 	}
+	showEnumStats = *enumStats
 
 	switch {
 	case *appsFlag != "":
@@ -112,6 +123,36 @@ func main() {
 	}
 }
 
+// showEnumStats mirrors -enum-stats for the run helpers.
+var showEnumStats bool
+
+// printEnumStats reports the model checker's effort on one verified
+// program, plus the partial-order-reduction factor measured against the
+// unreduced reference enumerator when the latter fits the same budget.
+func printEnumStats(src string, opts scverify.Options, rep *scverify.Report) {
+	if rep.Enum == nil {
+		return
+	}
+	s := rep.Enum
+	fmt.Printf("enum: states=%d transitions=%d local-steps=%d branches=%d peak-frontier=%d outcomes=%d",
+		s.States, s.Transitions, s.LocalSteps, s.Branches, s.PeakFrontier, s.Outcomes)
+	if s.Truncated {
+		fmt.Printf(" TRUNCATED\n")
+		return
+	}
+	budget := opts.EnumBudget
+	if budget <= 0 {
+		budget = 1_000_000
+	}
+	fn := ir.MustBuild(src, ir.BuildOptions{Procs: opts.Procs})
+	if _, ref, ok := interp.EnumerateSCReferenceStats(fn, opts.Procs, budget); ok {
+		fmt.Printf(" por-reduction=%.1fx (reference: %d states)\n", s.ReductionFactor(ref.States), ref.States)
+	} else {
+		fmt.Printf(" por-reduction=>%.1fx (reference over budget at %d states)\n",
+			s.ReductionFactor(ref.States), ref.States)
+	}
+}
+
 // runOne verifies one source program and prints its report.
 func runOne(name, src string, opts scverify.Options) int {
 	rep, err := scverify.Verify(src, opts)
@@ -119,6 +160,9 @@ func runOne(name, src string, opts scverify.Options) int {
 		fatal(err)
 	}
 	fmt.Printf("%s:\n%s", name, rep.Summary())
+	if showEnumStats {
+		printEnumStats(src, opts, rep)
+	}
 	printViolations(rep)
 	if !rep.OK() {
 		return 1
@@ -179,6 +223,10 @@ func runProgen(n int, opts scverify.Options) int {
 		}
 		if rep.ExactOracle {
 			exact++
+		}
+		if showEnumStats {
+			fmt.Printf("seed %d: ", seed)
+			printEnumStats(src, opts, rep)
 		}
 		if !rep.OK() {
 			status = 1

@@ -1,0 +1,279 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/sem"
+)
+
+// This file keeps the original exhaustive enumerator as the trusted
+// baseline for the partial-order-reduced model checker in enum.go. It
+// branches at every statement of every runnable processor and deep-copies
+// the whole machine state per transition — simple enough to audit by eye,
+// which is exactly what the differential suite wants from it. Use
+// EnumerateSC for anything where performance matters.
+
+// EnumerateSCReference exhaustively explores the sequentially consistent
+// state space of a program without partial-order reduction: from every
+// reachable state, every runnable processor may take the next atomic
+// step. It returns the set of final-state outcome keys (OutcomeKey of
+// memory plus the print log), or ok=false if the exploration exceeded
+// maxStates.
+//
+// Random schedule sampling misses legal outcomes that need many precisely
+// placed context switches; enumeration does not. EnumerateSC reaches the
+// same outcome set orders of magnitude faster; this implementation exists
+// to check that claim (enum_diff_test.go) and as the audit trail for the
+// oracle's semantics.
+func EnumerateSCReference(fn *ir.Fn, procs, maxStates int) (outcomes map[string]bool, ok bool) {
+	outcomes, _, ok = EnumerateSCReferenceStats(fn, procs, maxStates)
+	return outcomes, ok
+}
+
+// EnumerateSCReferenceStats is EnumerateSCReference with exploration
+// statistics. A maxStates of zero or less selects the reference default
+// of 2,000,000 states (half the reduced engine's default: every state
+// here costs a deep copy and a formatted key).
+func EnumerateSCReferenceStats(fn *ir.Fn, procs, maxStates int) (map[string]bool, EnumStats, bool) {
+	if maxStates <= 0 {
+		maxStates = 2_000_000
+	}
+	var stats EnumStats
+	init := newEnumState(fn, procs)
+	visited := map[string]bool{}
+	outcomes := map[string]bool{}
+	stack := []*scState{init}
+	visited[encodeState(init)] = true
+	stats.States = 1
+	for len(stack) > 0 {
+		if len(stack) > stats.PeakFrontier {
+			stats.PeakFrontier = len(stack)
+		}
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		done := true
+		progressed := false
+		fresh := 0
+		for _, p := range st.procs {
+			if p.done {
+				continue
+			}
+			done = false
+			// Blocked processors are re-checked: stepping them may change
+			// their blocked flag only; treat no-change as no transition.
+			next := cloneState(st)
+			np := next.procs[p.id]
+			np.blocked = false // re-evaluate the blocking condition
+			if err := next.step(np); err != nil {
+				// Runtime errors terminate that path; they are not
+				// outcomes (the weak run would have failed too).
+				continue
+			}
+			stats.Transitions++
+			key := encodeState(next)
+			if visited[key] {
+				progressed = true
+				continue
+			}
+			visited[key] = true
+			progressed = true
+			fresh++
+			stats.States++
+			if stats.States > maxStates {
+				stats.Truncated = true
+				return nil, stats, false
+			}
+			stack = append(stack, next)
+		}
+		if fresh >= 2 {
+			stats.Branches++
+		}
+		if done {
+			k := OutcomeKey(st.mem.Snapshot(), referencePrints(st))
+			outcomes[k] = true
+		} else if !progressed {
+			// Deadlock state: no outcome recorded.
+			continue
+		}
+	}
+	stats.Outcomes = len(outcomes)
+	return outcomes, stats, true
+}
+
+func referencePrints(st *scState) []string {
+	var prints []string
+	for _, p := range st.procs {
+		prints = append(prints, p.prints...)
+	}
+	return prints
+}
+
+// encOrder is the interned canonical encoding order for one enumeration
+// run: symbol names sorted once, local array IDs sorted once, instead of
+// re-sorting inside every encodeState call.
+type encOrder struct {
+	shared   []*sem.Symbol
+	events   []*sem.Symbol
+	locks    []*sem.Symbol
+	arrayIDs []ir.LocalID
+}
+
+func newEncOrder(fn *ir.Fn) *encOrder {
+	o := &encOrder{}
+	o.shared = append(o.shared, fn.Info.Shared...)
+	sort.Slice(o.shared, func(i, j int) bool { return o.shared[i].Name < o.shared[j].Name })
+	o.events = append(o.events, fn.Info.Events...)
+	sort.Slice(o.events, func(i, j int) bool { return o.events[i].Name < o.events[j].Name })
+	o.locks = append(o.locks, fn.Info.Locks...)
+	sort.Slice(o.locks, func(i, j int) bool { return o.locks[i].Name < o.locks[j].Name })
+	for _, l := range fn.Locals {
+		if l.IsArr {
+			o.arrayIDs = append(o.arrayIDs, l.ID)
+		}
+	}
+	sort.Slice(o.arrayIDs, func(i, j int) bool { return o.arrayIDs[i] < o.arrayIDs[j] })
+	return o
+}
+
+// newEnumState builds the initial scState without a scheduler RNG.
+func newEnumState(fn *ir.Fn, procs int) *scState {
+	st := &scState{
+		fn:    fn,
+		mem:   NewMemory(fn.Info, procs),
+		posts: make(map[*sem.Symbol][]bool),
+		locks: make(map[*sem.Symbol][]int),
+		bar:   map[int]bool{},
+		barID: -1,
+		ord:   newEncOrder(fn),
+	}
+	for _, s := range fn.Info.Events {
+		st.posts[s] = make([]bool, s.Size)
+	}
+	for _, s := range fn.Info.Locks {
+		held := make([]int, s.Size)
+		for i := range held {
+			held[i] = -1
+		}
+		st.locks[s] = held
+	}
+	for p := 0; p < procs; p++ {
+		st.procs = append(st.procs, &scProc{id: p, blk: fn.Blocks[0], env: newEnv(fn)})
+	}
+	return st
+}
+
+// cloneState deep-copies an scState (memory, sync state, processors).
+// The interned encoding order is shared, not copied.
+func cloneState(st *scState) *scState {
+	out := &scState{
+		fn:    st.fn,
+		mem:   &Memory{data: make([][]ir.Value, len(st.mem.data)), syms: st.mem.syms, procs: st.mem.procs},
+		posts: map[*sem.Symbol][]bool{},
+		locks: map[*sem.Symbol][]int{},
+		bar:   map[int]bool{},
+		barID: st.barID,
+		ord:   st.ord,
+	}
+	for i, vals := range st.mem.data {
+		cp := make([]ir.Value, len(vals))
+		copy(cp, vals)
+		out.mem.data[i] = cp
+	}
+	for sym, flags := range st.posts {
+		cp := make([]bool, len(flags))
+		copy(cp, flags)
+		out.posts[sym] = cp
+	}
+	for sym, held := range st.locks {
+		cp := make([]int, len(held))
+		copy(cp, held)
+		out.locks[sym] = cp
+	}
+	for p := range st.bar {
+		out.bar[p] = true
+	}
+	for _, p := range st.procs {
+		np := &scProc{
+			id:      p.id,
+			blk:     p.blk,
+			idx:     p.idx,
+			done:    p.done,
+			blocked: p.blocked,
+			env: &env{
+				scalars: append([]ir.Value(nil), p.env.scalars...),
+				arrays:  map[ir.LocalID][]ir.Value{},
+			},
+			prints: append([]string(nil), p.prints...),
+		}
+		for id, arr := range p.env.arrays {
+			np.env.arrays[id] = append([]ir.Value(nil), arr...)
+		}
+		out.procs = append(out.procs, np)
+	}
+	return out
+}
+
+// encodeState canonically serializes a state for the visited set. All
+// iteration orders come from the run's interned encOrder — no sorting or
+// map-keyed rebuilds per call.
+func encodeState(st *scState) string {
+	var sb strings.Builder
+	for _, sym := range st.ord.shared {
+		sb.WriteString(sym.Name)
+		for _, v := range st.mem.data[sym.ID] {
+			fmt.Fprintf(&sb, ",%s", v.String())
+		}
+		sb.WriteByte(';')
+	}
+	for _, sym := range st.ord.events {
+		sb.WriteString(sym.Name)
+		for _, f := range st.posts[sym] {
+			if f {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		sb.WriteByte(';')
+	}
+	for _, sym := range st.ord.locks {
+		sb.WriteString(sym.Name)
+		for _, h := range st.locks[sym] {
+			fmt.Fprintf(&sb, ",%d", h)
+		}
+		sb.WriteByte(';')
+	}
+	// Barrier episode. Iterating procs in id order keeps the join set
+	// deterministic without collecting and sorting the map keys.
+	fmt.Fprintf(&sb, "B%d:", st.barID)
+	for _, p := range st.procs {
+		if st.bar[p.id] {
+			fmt.Fprintf(&sb, "%d,", p.id)
+		}
+	}
+	sb.WriteByte(';')
+	for _, p := range st.procs {
+		fmt.Fprintf(&sb, "p%d@%d.%d", p.id, p.blk.ID, p.idx)
+		if p.done {
+			sb.WriteByte('!')
+		}
+		for _, v := range p.env.scalars {
+			fmt.Fprintf(&sb, ",%s", v.String())
+		}
+		for _, id := range st.ord.arrayIDs {
+			fmt.Fprintf(&sb, "|%d", id)
+			for _, v := range p.env.arrays[id] {
+				fmt.Fprintf(&sb, ",%s", v.String())
+			}
+		}
+		for _, line := range p.prints {
+			fmt.Fprintf(&sb, "~%d:%s", len(line), line)
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

@@ -27,11 +27,7 @@ import (
 const fuzzProcs = 2
 
 func outcomeKey(mem map[string][]ir.Value, prints []string) string {
-	k := FormatSnapshot(mem)
-	for _, p := range prints {
-		k += "|" + p
-	}
-	return k
+	return OutcomeKey(mem, prints)
 }
 
 // scOutcomeSet samples n SC interleavings across scheduling policies:
@@ -118,7 +114,7 @@ func TestFuzzWeakOutcomesAreSC(t *testing.T) {
 		// definite sequential-consistency violation. Larger programs fall
 		// back to sampled schedules, where a miss after the adaptive
 		// top-up is only reported, not failed (sampling is incomplete).
-		sc, exact := EnumerateSC(fn, fuzzProcs, 400_000)
+		sc, exact := EnumerateSC(fn, fuzzProcs, 1_000_000)
 		if !exact {
 			sc = scOutcomeSet(t, fn, 300, 0)
 		}
@@ -179,7 +175,7 @@ func TestFuzzDeterministicProgramsStable(t *testing.T) {
 		}
 		// Determinacy probe: prefer exact enumeration; fall back to
 		// sampled schedules.
-		probe, exact := EnumerateSC(fn, fuzzProcs, 400_000)
+		probe, exact := EnumerateSC(fn, fuzzProcs, 1_000_000)
 		if !exact {
 			probe = scOutcomeSet(t, fn, 30, 0)
 		}

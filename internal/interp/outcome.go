@@ -1,0 +1,37 @@
+package interp
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// OutcomeKey canonically renders a final program state — the shared-memory
+// snapshot plus the print log — for outcome-set comparison. It is the one
+// formatting used by the SC enumerators, the weak-run outcome checks, and
+// the differential fuzz tests, so the three can never disagree on what
+// "the same outcome" means.
+//
+// Print lines are length-prefixed ("|<len>:<line>") rather than joined
+// with a bare separator: a printed value containing '|' would otherwise
+// collide with a line boundary and two genuinely different outcomes could
+// share a key. The snapshot part never contains '|' (symbol names are
+// identifiers and values are numerals), so the encoding is injective.
+func OutcomeKey(mem map[string][]ir.Value, prints []string) string {
+	var sb strings.Builder
+	sb.WriteString(FormatSnapshot(mem))
+	appendPrintSegments(&sb, prints)
+	return sb.String()
+}
+
+// appendPrintSegments writes the length-prefixed print-log segments of an
+// outcome key.
+func appendPrintSegments(sb *strings.Builder, prints []string) {
+	for _, p := range prints {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.Itoa(len(p)))
+		sb.WriteByte(':')
+		sb.WriteString(p)
+	}
+}

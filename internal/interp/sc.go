@@ -68,6 +68,9 @@ type scState struct {
 	procs []*scProc
 	rng   *rand.Rand
 	steps int
+	// ord is the interned canonical encoding order; set only by the
+	// enumerators (encodeState needs it), nil for scheduled runs.
+	ord *encOrder
 }
 
 // RunSC executes the IR under a random sequentially consistent

@@ -134,11 +134,7 @@ func scOutcomes(t *testing.T, fn *ir.Fn, procs int, runs int) map[string]bool {
 		if err != nil {
 			t.Fatalf("sc seed %d: %v", seed, err)
 		}
-		key := FormatSnapshot(res.Memory)
-		for _, p := range res.Prints {
-			key += "|" + p
-		}
-		out[key] = true
+		out[OutcomeKey(res.Memory, res.Prints)] = true
 	}
 	return out
 }
@@ -224,10 +220,7 @@ func main() {
 			if err != nil {
 				t.Fatalf("case %d seed %d: %v", ci, seed, err)
 			}
-			key := FormatSnapshot(r.Memory)
-			for _, p := range r.Prints {
-				key += "|" + p
-			}
+			key := OutcomeKey(r.Memory, r.Prints)
 			if !sc[key] {
 				t.Errorf("case %d seed %d: weak outcome not SC-explainable:\n%s\nSC set size %d",
 					ci, seed, key, len(sc))

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/progen"
 )
@@ -40,14 +41,18 @@ func TestVerifyApps(t *testing.T) {
 }
 
 // TestVerifyProgenGrid sweeps generated programs (the acceptance grid:
-// >= 50 seeds, three levels, multiple schedules). Generated programs race,
-// so outcomes are checked against the exhaustive SC outcome set when the
-// enumeration fits the budget; trace acyclicity is checked always.
+// >= 150 seeds, three levels, multiple schedules). Generated programs
+// race, so outcomes are checked against the exhaustive SC outcome set
+// when the enumeration fits the budget; trace acyclicity is checked
+// always. The partial-order-reduced model checker is what makes a grid
+// this wide affordable: the old enumerator capped the same test at 60
+// seeds and routinely fell back to sampled schedules.
 func TestVerifyProgenGrid(t *testing.T) {
 	const procs = 2
-	const seeds = 60
+	seeds := int64(150)
 	shards := 4
 	if testing.Short() {
+		seeds = 60
 		shards = 1
 	}
 	for shard := 0; shard < shards; shard++ {
@@ -60,7 +65,7 @@ func TestVerifyProgenGrid(t *testing.T) {
 				rep, err := Verify(src, Options{
 					Procs:      procs,
 					Schedules:  Schedules(4),
-					EnumBudget: 200_000,
+					EnumBudget: 400_000,
 				})
 				if err != nil {
 					t.Fatalf("seed %d: %v", seed, err)
@@ -80,7 +85,10 @@ func TestVerifyProgenGrid(t *testing.T) {
 
 // FuzzSCVerify feeds generator seeds and a schedule seed to the full
 // verifier pipeline: any cycle or SC-unreachable outcome on an unweakened
-// compile is a checker or compiler bug.
+// compile is a checker or compiler bug. It also cross-checks the two SC
+// enumerators: on any seed where the unreduced reference enumeration
+// completes, the partial-order-reduced oracle must produce the identical
+// outcome set.
 func FuzzSCVerify(f *testing.F) {
 	f.Add(int64(1), int64(0))
 	f.Add(int64(7), int64(3))
@@ -95,7 +103,7 @@ func FuzzSCVerify(f *testing.F) {
 				{Seed: schedSeed, Jitter: 0.45, Perturb: true},
 				{Seed: schedSeed + 1, Jitter: 8, Perturb: true},
 			},
-			EnumBudget: 100_000,
+			EnumBudget: 250_000,
 		})
 		if err != nil {
 			t.Fatalf("seed %d: %v", progSeed, err)
@@ -103,6 +111,24 @@ func FuzzSCVerify(f *testing.F) {
 		if !rep.OK() {
 			t.Fatalf("seed %d flagged:\n%s%s\nsource:\n%s",
 				progSeed, rep.Summary(), dumpViolations(rep), src)
+		}
+		fn := ir.MustBuild(src, ir.BuildOptions{Procs: procs})
+		refOut, refOK := interp.EnumerateSCReference(fn, procs, 150_000)
+		if !refOK {
+			return // reference over budget; Verify above already used the POR oracle
+		}
+		porOut, porOK := interp.EnumerateSC(fn, procs, 150_000)
+		if !porOK {
+			t.Fatalf("seed %d: POR enumeration truncated where the reference finished", progSeed)
+		}
+		if len(porOut) != len(refOut) {
+			t.Fatalf("seed %d: enumerator outcome sets differ: POR %d vs reference %d\nsource:\n%s",
+				progSeed, len(porOut), len(refOut), src)
+		}
+		for k := range refOut {
+			if !porOut[k] {
+				t.Fatalf("seed %d: reference outcome missing from POR set:\n%s\nsource:\n%s", progSeed, k, src)
+			}
 		}
 	})
 }

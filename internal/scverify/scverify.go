@@ -121,7 +121,8 @@ type Options struct {
 	// CSE enables communication elimination in the compiles under test.
 	CSE bool
 	// EnumBudget bounds the SC state enumeration for racy programs
-	// (default 400_000 states).
+	// (default 1_000_000 states; the partial-order-reduced checker makes
+	// this cheap).
 	EnumBudget int
 }
 
@@ -144,6 +145,10 @@ type Report struct {
 	// SC enumeration (false: enumeration blew the budget and outcome
 	// membership was skipped; trace acyclicity is still checked).
 	ExactOracle bool
+	// Enum holds the model checker's exploration statistics when the
+	// exact oracle ran (nil for deterministic programs, whose outcome
+	// check is blocking-reference equality).
+	Enum *interp.EnumStats
 }
 
 // OK reports whether no violation and no outcome error was found.
@@ -175,12 +180,11 @@ func (r *Report) Summary() string {
 	return sb.String()
 }
 
+// outcomeKey delegates to the interpreter's canonical outcome rendering
+// (length-prefixed print segments), so weak-run outcomes and the SC
+// enumerator's sets compare in one format.
 func outcomeKey(mem map[string][]ir.Value, prints []string) string {
-	k := interp.FormatSnapshot(mem)
-	for _, p := range prints {
-		k += "|" + p
-	}
-	return k
+	return interp.OutcomeKey(mem, prints)
 }
 
 // Verify compiles src at each requested level and checks every schedule:
@@ -205,7 +209,7 @@ func Verify(src string, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("scverify: machine has %d procs, Options.Procs is %d", cfg.Procs, opts.Procs)
 	}
 	if opts.EnumBudget <= 0 {
-		opts.EnumBudget = 400_000
+		opts.EnumBudget = 1_000_000
 	}
 
 	// The unweakened blocking compile is the reference semantics.
@@ -224,7 +228,9 @@ func Verify(src string, opts Options) (*Report, error) {
 		}
 		refKey = outcomeKey(res.Memory, res.Prints)
 	} else {
-		scOutcomes, report.ExactOracle = interp.EnumerateSC(ref.Fn, opts.Procs, opts.EnumBudget)
+		var stats interp.EnumStats
+		scOutcomes, stats, report.ExactOracle = interp.EnumerateSCStats(ref.Fn, opts.Procs, opts.EnumBudget)
+		report.Enum = &stats
 	}
 
 	for _, level := range opts.Levels {
