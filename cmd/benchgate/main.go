@@ -36,25 +36,36 @@ type baseline struct {
 	Benchmarks []struct {
 		Name  string   `json:"name"`
 		After *metrics `json:"after"`
+		// HostCPUs records the CPU count of the host the baseline was
+		// measured on; ParallelPool marks entries whose cost depends on
+		// the benchmark's parallel width (worker-pool grids). A
+		// parallel-pool entry is only comparable on a host of the same
+		// width — the gate skips it otherwise instead of misreading a
+		// width change as a regression.
+		HostCPUs     int  `json:"host_cpus"`
+		ParallelPool bool `json:"parallel_pool"`
 	} `json:"benchmarks"`
 }
 
 // metrics holds the comparable numbers; pointers distinguish a metric the
 // baseline simply does not record (e.g. allocs of a wall-clock-only entry).
+// width is the `-N` GOMAXPROCS suffix of the measured run (0 if absent).
 type metrics struct {
 	NsOp     *float64 `json:"ns_op"`
 	AllocsOp *float64 `json:"allocs_op"`
+	width    int
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
 // "BenchmarkInterpOcean-4   5   1108000 ns/op   94072 B/op   389 allocs/op".
 // Custom b.ReportMetric units (e.g. the model checker's "states") may
 // appear between ns/op and the allocation columns and are skipped.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(?:[\d.]+ \S+\s+)*?([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+\d+\s+([\d.]+) ns/op(?:\s+(?:[\d.]+ \S+\s+)*?([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 // parseBench extracts name -> metrics from benchmark output. The trailing
-// -N GOMAXPROCS suffix is stripped so names match the baselines, and
-// repeated runs of one benchmark keep the per-metric minimum.
+// -N GOMAXPROCS suffix is stripped from the name (so it matches the
+// baselines) but kept as the run's parallel width, and repeated runs of
+// one benchmark keep the per-metric minimum.
 func parseBench(r io.Reader) (map[string]metrics, error) {
 	out := make(map[string]metrics)
 	sc := bufio.NewScanner(r)
@@ -64,13 +75,16 @@ func parseBench(r io.Reader) (map[string]metrics, error) {
 		if m == nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(m[2], 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
 			continue
 		}
 		got := metrics{NsOp: &ns}
-		if m[4] != "" {
-			if al, err := strconv.ParseFloat(m[4], 64); err == nil {
+		if m[2] != "" {
+			got.width, _ = strconv.Atoi(m[2])
+		}
+		if m[5] != "" {
+			if al, err := strconv.ParseFloat(m[5], 64); err == nil {
 				got.AllocsOp = &al
 			}
 		}
@@ -141,6 +155,11 @@ func run(benchOut io.Reader, baselineFiles []string, tol float64, w io.Writer) (
 			cur, ok := got[b.Name]
 			if !ok {
 				fmt.Fprintf(w, "skip %-42s           not in this run\n", b.Name)
+				continue
+			}
+			if b.ParallelPool && b.HostCPUs != 0 && cur.width != 0 && cur.width != b.HostCPUs {
+				fmt.Fprintf(w, "skip %-42s           parallel width %d, baseline measured at %d\n",
+					b.Name, cur.width, b.HostCPUs)
 				continue
 			}
 			for _, m := range []struct {

@@ -86,6 +86,63 @@ func TestRunGate(t *testing.T) {
 	}
 }
 
+// TestRunGateWidthSkip: a parallel-pool baseline entry is skipped (not
+// failed) when the run's GOMAXPROCS width differs from the width the
+// baseline was measured at, and still compared when widths match.
+func TestRunGateWidthSkip(t *testing.T) {
+	const baselineJSON = `{
+  "benchmarks": [
+    {"name": "BenchmarkFigure12", "host_cpus": 16, "parallel_pool": true,
+     "after": {"ns_op": 10000000}},
+    {"name": "BenchmarkInterpEM3D", "host_cpus": 16,
+     "after": {"ns_op": 256000}}
+  ]
+}`
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(baselineJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Width 4 run: Figure12 is 5x slower than baseline (pool 4x narrower),
+	// but must be skipped rather than failed. EM3D is width-insensitive
+	// (no parallel_pool) and must still be compared — and pass.
+	bench := `
+BenchmarkFigure12-4     	       3	  50000000 ns/op
+BenchmarkInterpEM3D-4   	       5	    250000 ns/op
+PASS
+`
+	var sb strings.Builder
+	failures, err := run(strings.NewReader(bench), []string{base}, 25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if failures != 0 {
+		t.Errorf("failures = %d, want 0\n%s", failures, out)
+	}
+	if !strings.Contains(out, "skip BenchmarkFigure12") || !strings.Contains(out, "parallel width 4, baseline measured at 16") {
+		t.Errorf("missing width-mismatch skip:\n%s", out)
+	}
+	if !strings.Contains(out, "ok   BenchmarkInterpEM3D") {
+		t.Errorf("EM3D should still be compared:\n%s", out)
+	}
+
+	// Width 16 run: widths match, Figure12 is compared and its 5x
+	// regression now fails the gate.
+	bench16 := `
+BenchmarkFigure12-16     	       3	  50000000 ns/op
+PASS
+`
+	sb.Reset()
+	failures, err = run(strings.NewReader(bench16), []string{base}, 25, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 || !strings.Contains(sb.String(), "FAIL BenchmarkFigure12") {
+		t.Errorf("width-matched regression not caught (failures=%d):\n%s", failures, sb.String())
+	}
+}
+
 func TestRunGateNoMatches(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")

@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|passes|analysis|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|passes|bigproc|analysis|all")
 	procs := flag.Int("procs", 64, "processors for fig12/ablation/messages")
 	scale := flag.Int("scale", 1, "problem scale")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across all CPUs (deterministic output)")
@@ -116,6 +116,17 @@ func main() {
 		}
 		fmt.Println(bench.FormatPassStats(rows, *procs))
 		emit("passes", rows)
+	}
+	// Machine-scaling tier (hundreds to thousands of simulated
+	// processors); excluded from "all" to keep the default run quick.
+	if *exp == "bigproc" {
+		any = true
+		res, err := bench.RunBigProc(bench.BigProcCounts, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Format())
+		emit("bigproc", res.JSON())
 	}
 	// Compiler-side timing; excluded from "all" so the default output
 	// stays machine-independent.

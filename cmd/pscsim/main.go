@@ -15,6 +15,8 @@
 //	-sc            also run the sequentially consistent oracle and compare
 //	-mem           print final shared memory
 //	-stats         print per-processor statistics
+//	-engine E      block-execution engine: vm | walk (default vm)
+//	-dump-bytecode print the compiled bytecode before running
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"repro"
 	"repro/internal/interp"
 	"repro/internal/machine"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -37,6 +40,8 @@ func main() {
 	sc := flag.Bool("sc", false, "compare against the sequentially consistent oracle")
 	mem := flag.Bool("mem", false, "print final shared memory")
 	stats := flag.Bool("stats", false, "print per-processor statistics")
+	engine := flag.String("engine", "vm", "block-execution engine: vm|walk")
+	dumpBC := flag.Bool("dump-bytecode", false, "print the compiled bytecode before running")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -60,7 +65,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := prog.Run(cfg, interp.RunOptions{Jitter: *jitter, Seed: *seed})
+	eng, err := interp.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpBC {
+		bc, err := vm.Compiled(prog.Target)
+		if err != nil {
+			fatal(fmt.Errorf("bytecode: %w", err))
+		}
+		fmt.Print(bc.Disasm())
+	}
+	res, err := prog.Run(cfg, interp.RunOptions{Jitter: *jitter, Seed: *seed, Engine: eng})
 	if err != nil {
 		fatal(err)
 	}

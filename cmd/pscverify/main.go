@@ -35,6 +35,10 @@
 //	                (states, transitions, deterministic steps, branch
 //	                points, peak depth) and the partial-order-reduction
 //	                factor against the unreduced reference enumerator
+//	-engine E       block-execution engine for every verified run:
+//	                vm | walk (default vm)
+//	-dump-bytecode  print the compiled bytecode of the file under
+//	                verification at each requested level, then exit
 package main
 
 import (
@@ -52,6 +56,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/progen"
 	"repro/internal/scverify"
+	"repro/internal/vm"
 )
 
 func main() {
@@ -68,9 +73,15 @@ func main() {
 	progenN := flag.Int("progen", 0, "verify N generated programs instead of a file")
 	maxStates := flag.Int("max-states", 0, "state budget for the exact SC enumeration (0 = verifier default)")
 	enumStats := flag.Bool("enum-stats", false, "print SC model-checker exploration statistics")
+	engineFlag := flag.String("engine", "vm", "block-execution engine: vm|walk")
+	dumpBC := flag.Bool("dump-bytecode", false, "print the compiled bytecode at each level and exit")
 	flag.Parse()
 
 	levels, err := splitc.ParseLevels(*level)
+	if err != nil {
+		fatal(err)
+	}
+	engine, err := interp.ParseEngine(*engineFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,6 +102,7 @@ func main() {
 		Weaken:        pairs,
 		CSE:           *cse,
 		EnumBudget:    *maxStates,
+		Engine:        engine,
 	}
 	showEnumStats = *enumStats
 
@@ -115,6 +127,12 @@ func main() {
 				lvl = levels[0]
 			}
 			if err := printDelays(string(text), *procs, lvl); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if *dumpBC {
+			if err := dumpBytecode(string(text), *procs, *cse, levels); err != nil {
 				fatal(err)
 			}
 			return
@@ -239,6 +257,24 @@ func runProgen(n int, opts scverify.Options) int {
 		fmt.Printf("ok: %d generated programs verified (%d with exact SC oracle)\n", n, exact)
 	}
 	return status
+}
+
+// dumpBytecode prints the VM image the verifier's runs would execute —
+// one disassembly per requested optimization level, since each level
+// compiles to different target code.
+func dumpBytecode(src string, procs int, cse bool, levels []splitc.Level) error {
+	for _, lvl := range levels {
+		prog, err := splitc.Compile(src, splitc.Options{Procs: procs, Level: lvl, CSE: cse})
+		if err != nil {
+			return err
+		}
+		bc, err := vm.Compiled(prog.Target)
+		if err != nil {
+			return fmt.Errorf("%s: bytecode: %w", lvl, err)
+		}
+		fmt.Printf("== level %s ==\n%s", lvl, bc.Disasm())
+	}
+	return nil
 }
 
 // printDelays lists the enforced delay pairs of the program's analysis at

@@ -9,6 +9,7 @@ package interp_test
 // from internal/apps, which imports interp for its result validators.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/apps"
@@ -37,13 +38,16 @@ func compileKernel(tb testing.TB, name string, procs int) *target.Prog {
 }
 
 func benchInterpKernel(b *testing.B, name string) {
-	const procs = 8
+	benchEngineKernel(b, name, 8, interp.RunOptions{})
+}
+
+func benchEngineKernel(b *testing.B, name string, procs int, opts interp.RunOptions) {
 	prog := compileKernel(b, name, procs)
 	cfg := machine.CM5(procs)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := interp.Run(prog, cfg, interp.RunOptions{}); err != nil {
+		if _, err := interp.Run(prog, cfg, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,3 +60,37 @@ func BenchmarkInterpEM3D(b *testing.B) { benchInterpKernel(b, "EM3D") }
 // BenchmarkInterpOcean simulates one Ocean run (stencil relaxation) on 8
 // simulated CM-5 processors.
 func BenchmarkInterpOcean(b *testing.B) { benchInterpKernel(b, "Ocean") }
+
+// BenchmarkVMEM3D and BenchmarkVMOcean pin the bytecode-VM engine
+// explicitly (today's default, but the pin keeps the number meaningful if
+// the default ever changes); BenchmarkWalkEM3D and BenchmarkWalkOcean pin
+// the AST-walking reference engine, so the VM-vs-walker ratio is always
+// measurable from one bench run.
+func BenchmarkVMEM3D(b *testing.B) {
+	benchEngineKernel(b, "EM3D", 8, interp.RunOptions{Engine: interp.EngineVM})
+}
+
+func BenchmarkVMOcean(b *testing.B) {
+	benchEngineKernel(b, "Ocean", 8, interp.RunOptions{Engine: interp.EngineVM})
+}
+
+func BenchmarkWalkEM3D(b *testing.B) {
+	benchEngineKernel(b, "EM3D", 8, interp.RunOptions{Engine: interp.EngineWalker})
+}
+
+func BenchmarkWalkOcean(b *testing.B) {
+	benchEngineKernel(b, "Ocean", 8, interp.RunOptions{Engine: interp.EngineWalker})
+}
+
+// BenchmarkVMBigProc scales the simulated machine instead of the problem:
+// EM3D on 256 and 1024 simulated processors. The tier guards the
+// structures whose cost grows with the processor count — the event
+// queue's depth, the per-processor slabs, and the lazy-read forcing scan
+// — which the 8-processor benchmarks cannot see.
+func BenchmarkVMBigProc(b *testing.B) {
+	for _, procs := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("EM3D/procs=%d", procs), func(b *testing.B) {
+			benchEngineKernel(b, "EM3D", procs, interp.RunOptions{Engine: interp.EngineVM})
+		})
+	}
+}

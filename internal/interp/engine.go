@@ -1,0 +1,134 @@
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// Engine selects the block-execution engine of the weak-memory executor.
+// The two engines are semantically byte-identical — same outcomes, same
+// event timing, same tap streams — and are differential-tested against
+// each other (engines_diff_test.go); the walker survives as the reference
+// implementation, mirroring the Constraints.Reference and
+// EnumerateSCReference pattern used elsewhere in the codebase.
+type Engine uint8
+
+// Engines. The zero value is the bytecode VM, making it the default.
+const (
+	// EngineVM compiles target blocks to flat bytecode (internal/vm) and
+	// executes them on an explicit value stack.
+	EngineVM Engine = iota
+	// EngineWalker walks the target AST statement by statement — the
+	// original executor, kept as the differential reference.
+	EngineWalker
+)
+
+// String names the engine as accepted by ParseEngine.
+func (e Engine) String() string {
+	switch e {
+	case EngineVM:
+		return "vm"
+	case EngineWalker:
+		return "walk"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine resolves an engine name ("vm" or "walk"); the CLIs share it.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "vm":
+		return EngineVM, nil
+	case "walk", "walker":
+		return EngineWalker, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want vm or walk)", name)
+	}
+}
+
+// vmHost adapts the simulator to the VM's Host interface. The methods are
+// the walker's statement bodies minus operand evaluation (the bytecode did
+// that already), so both engines share one implementation of the event
+// semantics, the cost model, and the tap protocol.
+type vmHost struct{ s *sim }
+
+// ChargeALUN applies n accumulated ALU charges one at a time: the
+// floating-point additions hitting p.time are the walker's, in the
+// walker's order, so clocks stay bit-identical.
+func (h *vmHost) ChargeALUN(p, n int) {
+	pr := h.s.procs[p]
+	c := h.s.cfg.ALUCost
+	for i := 0; i < n; i++ {
+		pr.charge(c)
+	}
+}
+
+func (h *vmHost) EnterBlock(p, blk int) {
+	if h.s.tap != nil {
+		h.s.tap.Block(p, blk)
+	}
+}
+
+func (h *vmHost) Print(p int, line string) {
+	pr := h.s.procs[p]
+	pr.prints = append(pr.prints, line)
+}
+
+func (h *vmHost) Fail(p int, format string, args ...any) {
+	h.s.fail(h.s.procs[p], format, args...)
+}
+
+func (h *vmHost) Get(p, accID int, idx int64, dst ir.LocalID, ctr int) bool {
+	s := h.s
+	pr := s.procs[p]
+	acc := s.prog.Fn.Accesses[accID]
+	s.verifyDelays(pr, acc)
+	if err := s.mem.CheckIndex(acc.Sym, idx); err != nil {
+		s.fail(pr, "%v", err)
+		return false
+	}
+	s.issueGetAt(pr, acc, idx, s.mem.OwnerID(acc.Sym.ID, idx), dst, target.Ctr(ctr))
+	return s.err == nil
+}
+
+func (h *vmHost) Put(p, accID int, idx int64, v ir.Value, ctr int) bool {
+	s := h.s
+	pr := s.procs[p]
+	acc := s.prog.Fn.Accesses[accID]
+	s.verifyDelays(pr, acc)
+	if err := s.mem.CheckIndex(acc.Sym, idx); err != nil {
+		s.fail(pr, "%v", err)
+		return false
+	}
+	s.issuePutAt(pr, acc, idx, s.mem.OwnerID(acc.Sym.ID, idx), v, target.Ctr(ctr))
+	return s.err == nil
+}
+
+func (h *vmHost) Store(p, accID int, idx int64, v ir.Value) bool {
+	s := h.s
+	pr := s.procs[p]
+	acc := s.prog.Fn.Accesses[accID]
+	s.verifyDelays(pr, acc)
+	if err := s.mem.CheckIndex(acc.Sym, idx); err != nil {
+		s.fail(pr, "%v", err)
+		return false
+	}
+	s.issueStoreAt(pr, acc, idx, s.mem.OwnerID(acc.Sym.ID, idx), v)
+	return s.err == nil
+}
+
+func (h *vmHost) SyncCtr(p, ctr int) bool {
+	return h.s.syncCtr(h.s.procs[p], target.Ctr(ctr))
+}
+
+func (h *vmHost) Sync(p, accID int, idx int64) bool {
+	s := h.s
+	return s.syncOpAt(s.procs[p], s.prog.Fn.Accesses[accID], idx)
+}
+
+// vm.Host conformance check.
+var _ vm.Host = (*vmHost)(nil)

@@ -180,6 +180,13 @@ type mcState struct {
 
 	// Interned encoding order (computed once; no per-state sorting).
 	arrayIDs []ir.LocalID
+	// pcBase flattens (block, statement index) control positions into one
+	// program-counter space, mirroring how the VM engine flattens blocks
+	// into bytecode: pcBase[b] + idx is globally unique because each block
+	// contributes len(Stmts)+1 positions (the +1 is "at the terminator").
+	// The fingerprint then spends one u64 on a processor's control state
+	// instead of two.
+	pcBase []uint64
 
 	buf      []byte
 	visited  map[fp]struct{}
@@ -229,6 +236,12 @@ func newMCState(fn *ir.Fn, procs, maxStates int) *mcState {
 		if l.IsArr {
 			st.arrayIDs = append(st.arrayIDs, l.ID)
 		}
+	}
+	st.pcBase = make([]uint64, len(fn.Blocks))
+	next := uint64(0)
+	for _, b := range fn.Blocks {
+		st.pcBase[b.ID] = next
+		next += uint64(len(b.Stmts)) + 1
 	}
 
 	// Conflict classification: the rows drive both the static "never
@@ -854,8 +867,8 @@ func (st *mcState) fingerprint() fp {
 	}
 	for p := range st.procs {
 		pr := &st.procs[p]
-		st.putU64(uint64(pr.blk.ID))
-		st.putU64(uint64(pr.idx)<<1 | boolBit(pr.done))
+		// Control state as one flat program counter (see pcBase).
+		st.putU64((st.pcBase[pr.blk.ID]+uint64(pr.idx))<<1 | boolBit(pr.done))
 		for _, v := range pr.env.scalars {
 			st.putVal(v)
 		}

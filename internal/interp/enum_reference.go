@@ -205,12 +205,14 @@ func cloneState(st *scState) *scState {
 			blocked: p.blocked,
 			env: &env{
 				scalars: append([]ir.Value(nil), p.env.scalars...),
-				arrays:  map[ir.LocalID][]ir.Value{},
+				arrays:  make([][]ir.Value, len(p.env.arrays)),
 			},
 			prints: append([]string(nil), p.prints...),
 		}
 		for id, arr := range p.env.arrays {
-			np.env.arrays[id] = append([]ir.Value(nil), arr...)
+			if arr != nil {
+				np.env.arrays[id] = append([]ir.Value(nil), arr...)
+			}
 		}
 		out.procs = append(out.procs, np)
 	}

@@ -37,37 +37,49 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("proc %d: runtime error: %s", e.Proc, e.Msg)
 }
 
-// env holds one processor's local variables.
+// env holds one processor's local variables. Arrays are indexed by
+// LocalID like scalars (nil for non-array locals), so the VM engine's
+// frames can alias both slices directly.
 type env struct {
 	scalars []ir.Value
-	arrays  map[ir.LocalID][]ir.Value
+	arrays  [][]ir.Value
 }
 
 func newEnv(fn *ir.Fn) *env {
-	e := &env{
-		scalars: make([]ir.Value, len(fn.Locals)),
-		arrays:  make(map[ir.LocalID][]ir.Value),
-	}
+	// Scalars and every local array share one backing slice (scalars
+	// first, then each array in LocalID order): one allocation per
+	// processor instead of one per array.
+	total := int64(len(fn.Locals))
 	for _, l := range fn.Locals {
 		if l.IsArr {
-			e.arrays[l.ID] = make([]ir.Value, l.Size)
-		}
-		// Zero values carry the declared type for clean printing.
-		if l.Type == source.TypeFloat && !l.IsArr {
-			e.scalars[l.ID] = ir.FloatVal(0)
-		} else if !l.IsArr {
-			e.scalars[l.ID] = ir.IntVal(0)
+			total += l.Size
 		}
 	}
-	for id, arr := range e.arrays {
-		if fn.Locals[id].Type == source.TypeFloat {
-			for i := range arr {
-				arr[i] = ir.FloatVal(0)
+	slab := make([]ir.Value, total)
+	e := &env{
+		scalars: slab[:len(fn.Locals):len(fn.Locals)],
+		arrays:  make([][]ir.Value, len(fn.Locals)),
+	}
+	next := int64(len(fn.Locals))
+	for _, l := range fn.Locals {
+		if l.IsArr {
+			arr := slab[next : next+l.Size : next+l.Size]
+			next += l.Size
+			// Zero values carry the declared type for clean printing.
+			if l.Type == source.TypeFloat {
+				for i := range arr {
+					arr[i] = ir.FloatVal(0)
+				}
+			} else {
+				for i := range arr {
+					arr[i] = ir.IntVal(0)
+				}
 			}
+			e.arrays[l.ID] = arr
+		} else if l.Type == source.TypeFloat {
+			e.scalars[l.ID] = ir.FloatVal(0)
 		} else {
-			for i := range arr {
-				arr[i] = ir.IntVal(0)
-			}
+			e.scalars[l.ID] = ir.IntVal(0)
 		}
 	}
 	return e
@@ -164,14 +176,40 @@ type Memory struct {
 	data  [][]ir.Value  // indexed by Symbol.ID
 	syms  []*sem.Symbol // parallel to data, declaration order
 	procs int
+
+	// Ownership is resolved per event on the simulator's hot path, so the
+	// layout dispatch is precomputed per symbol: ownKind selects the rule
+	// and ownParam carries its constant (resolved owner for scalars, block
+	// size for blocked arrays — or, for the *P2 kinds, the equivalent
+	// shift/mask so the common power-of-two machine sizes skip the integer
+	// divisions entirely).
+	ownKind   []uint8
+	ownParam  []int64
+	procsMask int64 // procs-1 when procs is a power of two, else -1
 }
+
+// Ownership rule kinds, indexed by Memory.ownKind.
+const (
+	ownScalar    uint8 = iota
+	ownCyclic          // idx % procs
+	ownCyclicP2        // idx & procsMask
+	ownBlocked         // (idx / blockSize) % procs
+	ownBlockedP2       // (idx >> ownParam) & procsMask
+)
 
 // NewMemory allocates and initializes the shared space for a program.
 func NewMemory(info *sem.Info, procs int) *Memory {
 	m := &Memory{
-		data:  make([][]ir.Value, len(info.Shared)),
-		syms:  info.Shared,
-		procs: procs,
+		data:     make([][]ir.Value, len(info.Shared)),
+		syms:     info.Shared,
+		procs:    procs,
+		ownKind:  make([]uint8, len(info.Shared)),
+		ownParam: make([]int64, len(info.Shared)),
+	}
+	p := int64(procs)
+	m.procsMask = -1
+	if p&(p-1) == 0 {
+		m.procsMask = p - 1
 	}
 	for _, s := range info.Shared {
 		vals := make([]ir.Value, s.Size)
@@ -183,8 +221,37 @@ func NewMemory(info *sem.Info, procs int) *Memory {
 			}
 		}
 		m.data[s.ID] = vals
+		switch {
+		case !s.IsArr:
+			m.ownKind[s.ID] = ownScalar
+			m.ownParam[s.ID] = s.Owner % p
+		case s.Layout == source.LayoutCyclic:
+			m.ownKind[s.ID] = ownCyclic
+			if m.procsMask >= 0 {
+				m.ownKind[s.ID] = ownCyclicP2
+			}
+		default:
+			bs := (s.Size + p - 1) / p
+			m.ownKind[s.ID] = ownBlocked
+			m.ownParam[s.ID] = bs
+			if m.procsMask >= 0 && bs&(bs-1) == 0 {
+				m.ownKind[s.ID] = ownBlockedP2
+				m.ownParam[s.ID] = int64(bitsLen(uint64(bs)) - 1)
+			}
+		}
 	}
 	return m
+}
+
+// bitsLen is bits.Len64 without the import (the shift count of a
+// power-of-two block size).
+func bitsLen(x uint64) int {
+	n := 0
+	for x != 0 {
+		x >>= 1
+		n++
+	}
+	return n
 }
 
 // CheckIndex validates an element index for a symbol.
@@ -201,18 +268,35 @@ func (m *Memory) Read(sym *sem.Symbol, idx int64) ir.Value { return m.data[sym.I
 // Write stores v into sym[idx].
 func (m *Memory) Write(sym *sem.Symbol, idx int64, v ir.Value) { m.data[sym.ID][idx] = v }
 
+// ReadID returns the value at element idx of the symbol with the given ID.
+func (m *Memory) ReadID(symID int32, idx int64) ir.Value { return m.data[symID][idx] }
+
+// WriteID stores v into element idx of the symbol with the given ID.
+func (m *Memory) WriteID(symID int32, idx int64, v ir.Value) { m.data[symID][idx] = v }
+
+// SymByID returns the symbol with the given dense ID.
+func (m *Memory) SymByID(symID int32) *sem.Symbol { return m.syms[symID] }
+
 // Owner returns the processor owning sym[idx]: the declared owner for
 // scalars, the block owner for blocked arrays, idx mod P for cyclic ones.
 func (m *Memory) Owner(sym *sem.Symbol, idx int64) int {
-	p := int64(m.procs)
-	switch {
-	case !sym.IsArr:
-		return int(sym.Owner % p)
-	case sym.Layout == source.LayoutCyclic:
-		return int(idx % p)
+	return m.OwnerID(sym.ID, idx)
+}
+
+// OwnerID is Owner keyed by the symbol's dense ID, using the precomputed
+// per-symbol layout rule.
+func (m *Memory) OwnerID(symID int, idx int64) int {
+	switch m.ownKind[symID] {
+	case ownScalar:
+		return int(m.ownParam[symID])
+	case ownCyclicP2:
+		return int(idx & m.procsMask)
+	case ownCyclic:
+		return int(idx % int64(m.procs))
+	case ownBlockedP2:
+		return int((idx >> uint(m.ownParam[symID])) & m.procsMask)
 	default:
-		block := (sym.Size + p - 1) / p
-		return int((idx / block) % p)
+		return int((idx / m.ownParam[symID]) % int64(m.procs))
 	}
 }
 

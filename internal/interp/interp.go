@@ -1,15 +1,15 @@
 package interp
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/delay"
 	"repro/internal/ir"
 	"repro/internal/machine"
-	"repro/internal/sem"
 	"repro/internal/target"
+	"repro/internal/vm"
 )
 
 // RunOptions configures the weak-memory executor.
@@ -43,6 +43,9 @@ type RunOptions struct {
 	Tap Tap
 	// MaxEvents bounds the simulation (0 means 50 million).
 	MaxEvents int
+	// Engine selects the block-execution engine; the zero value is the
+	// bytecode VM (see Engine).
+	Engine Engine
 }
 
 // ProcStats counts one processor's activity.
@@ -66,6 +69,7 @@ type Result struct {
 	Memory   map[string][]ir.Value
 	Prints   []string // per-processor output, proc-major order
 	Messages int      // network messages (requests, replies, acks)
+	Events   int      // simulator events dispatched (perf diagnostics)
 }
 
 // TotalMessages sums per-message network traffic.
@@ -78,50 +82,124 @@ func (r *Result) TotalMessages() int { return r.Messages }
 type evKind uint8
 
 const (
-	evResume   evKind = iota // resume a blocked/starting processor
-	evGetRead                // sample memory at arrival; deposit in partner
-	evGetLand                // write the sampled value into the destination
-	evMemWrite               // apply a put/store write at its arrival time
+	// Resumes and get-read samples are not evKinds: they are encoded
+	// directly in their queue entries (evqEntry.ref < 0) and never
+	// allocate a store event.
+	evMemWrite evKind = iota // apply a put/store write at its arrival time
 	evPost                   // post handler at the event object's manager
 	evLockReq                // lock request handler at the lock's manager
 	evLockRel                // unlock handler at the lock's manager
 )
 
+// landRec is one outstanding get landing: the sampled value drops into the
+// destination local at the completion time. Landings never enter the event
+// queue — a landing's only observable effect is the scalar write, and the
+// owning processor cannot look before its next resume, so each processor
+// keeps a private list and the resume applies every landing whose key
+// precedes the resume event's. This halves the queue's traffic (and its
+// depth, which sets the per-pop sift cost) while dispatching landings in
+// exactly the order the queue would have.
+type landRec struct {
+	t         float64
+	pri       float64
+	seq       int64
+	arr       float64 // the read's arrival time (its queue key; seq-1)
+	idx       int64   // element index the read samples
+	dst       int32
+	symID     int32 // shared symbol the read samples
+	dyn       int32 // dynamic-op id for the Tap; -1/0 when untapped
+	dead      bool  // applied; slot retired (a queued read may still name it)
+	deposited bool  // the read event has dispatched and filled val
+	val       ir.Value
+}
+
+// landBefore reports whether the landing's key precedes (t, pri, seq) in
+// the event order.
+func (l *landRec) landBefore(t, pri float64, seq int64) bool {
+	if l.t != t {
+		return l.t < t
+	}
+	if l.pri != pri {
+		return l.pri < pri
+	}
+	return l.seq < seq
+}
+
+// arrBefore reports whether the landing's read-arrival key — the key its
+// queued get-read entry carries (or would have carried on the lazy fast
+// path) — precedes (t, pri, seq). The read entry is allocated the seq
+// immediately before the landing's, so the arrival key is
+// (arr, pri, seq-1).
+func (l *landRec) arrBefore(t, pri float64, seq int64) bool {
+	if l.arr != t {
+		return l.arr < t
+	}
+	if l.pri != pri {
+		return l.pri < pri
+	}
+	return l.seq-1 < seq
+}
+
 // event is one scheduled simulator action: a kind, the processor it
 // concerns, and the operation's payload. Fields beyond t/seq/kind are
 // meaningful only for the kinds that use them.
+//
+// The struct is deliberately pointer-free: processors, partner events,
+// event/lock objects, and access records are named by dense indices
+// resolved through the sim at dispatch. Pointer-free events make the
+// paged store and the priority queue's entries invisible to the garbage
+// collector — no write barriers on the queue's sift copies (which
+// dominated the profile) and no scan work proportional to outstanding
+// events.
 type event struct {
-	t       float64
-	pri     float64 // perturbation tie-break band; 0 unless Perturb is on
-	seq     int
-	kind    evKind
-	dyn     int         // dynamic-op id for the Tap; -1/0 when untapped
-	p       *proc       // evResume, evGetLand, evPost, evLockReq, evLockRel
-	sym     *sem.Symbol // evGetRead, evMemWrite
-	idx     int64       // evGetRead, evMemWrite
-	dst     ir.LocalID  // evGetLand
-	val     ir.Value    // evGetRead's sample target, evMemWrite's payload
-	partner *event      // evGetRead deposits the sample into partner.val
-	ev      *eventObj   // evPost
-	lk      *lockObj    // evLockReq, evLockRel
-	acc     *ir.Access  // evPost (diagnostics)
+	t     float64
+	pri   float64 // perturbation tie-break band; 0 unless Perturb is on
+	seq   int64
+	self  evRef // this event's slot in the store (queue entries carry refs)
+	kind  evKind
+	proc  int32 // evPost, evLockReq, evLockRel
+	dyn   int32 // dynamic-op id for the Tap; -1/0 when untapped
+	symID int32 // evMemWrite; object symbol for evPost/evLock*
+	accID int32 // evPost, evLockReq, evLockRel (diagnostics)
+	idx   int64 // element index: evMemWrite, evPost, evLock*
+	val   ir.Value
 }
 
-type eventHeap []*event
+// evRef names an event's slot in the paged event store.
+type evRef = int32
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	if h[i].pri != h[j].pri {
-		return h[i].pri < h[j].pri
-	}
-	return h[i].seq < h[j].seq
+// Pages are deliberately small: with resumes and get-reads inlined in the
+// queue, only writes/posts/lock traffic hits the store, and the free list
+// recycles those — steady state for a fast-path run is a page or two.
+const (
+	evPageShift = 5
+	evPageSize  = 1 << evPageShift
+	evPageMask  = evPageSize - 1
+)
+
+// evStore bump-allocates events in fixed pages. Pages never move, so
+// *event pointers stay valid across allocations, while events themselves
+// are named by dense refs the queue can carry without pointers.
+type evStore struct {
+	pages [][]event
+	used  int // slots handed out; trailing slots of the last page are free
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (st *evStore) at(r evRef) *event {
+	return &st.pages[r>>evPageShift][r&evPageMask]
+}
+
+// alloc hands out a fresh zeroed slot.
+func (st *evStore) alloc() (*event, evRef) {
+	if st.used == len(st.pages)<<evPageShift {
+		st.pages = append(st.pages, make([]event, evPageSize))
+	}
+	r := evRef(st.used)
+	st.used++
+	e := st.at(r)
+	e.self = r
+	return e, r
+}
 
 // pendingOp is one outstanding split-phase operation on a counter.
 type pendingOp struct {
@@ -151,6 +229,12 @@ type proc struct {
 	wakeTime float64
 	pendDyn  int // dynamic-op id of the in-flight blocking op (tap)
 	barEp    int // barrier episode joined at arrival (tap)
+	// lands holds outstanding get landings; applied at the next resume
+	// (see landRec). nDead counts applied slots — the list resets once
+	// every slot is retired, so queued reads never see a slot move.
+	lands   []landRec
+	nDead   int
+	scratch []int32 // applyLands' qualifying-slot sort buffer (reused)
 	// lastCompletion[acc] is the latest computed completion time among
 	// this processor's issues of get/put access acc (delay verification).
 	lastCompletion []float64
@@ -193,19 +277,22 @@ type sim struct {
 	cfg   machine.Config
 	opts  RunOptions
 	rng   *rand.Rand
-	queue eventHeap
-	seq   int
+	queue evq
+	seq   int64
 	mem   *Memory
+	// vmm is the bytecode machine when opts.Engine is EngineVM; nil under
+	// the walker. resume delegates to it.
+	vmm *vm.Machine
 	// evs and lks are indexed by the checker's dense per-category symbol
 	// IDs (Symbol.ID), replacing per-access map lookups.
 	evs   [][]eventObj
 	lks   [][]lockObj
 	procs []*proc
 	bar   barrierState
-	// free recycles popped events; slab bump-allocates fresh ones in
-	// chunks so steady state needs no per-event allocation.
-	free []*event
-	slab []event
+	// store pages all events; free recycles popped refs so steady state
+	// needs no per-event allocation.
+	store evStore
+	free  []evRef
 	// delayPreds[b] lists delay predecessors of access b (verification).
 	delayPreds [][]int
 	tap        Tap
@@ -218,6 +305,17 @@ type sim struct {
 	last   float64
 	err    error
 	nEv    int
+	// fastSync enables the lazy get-read fast path (see syncCtr and
+	// depositUpTo): reads skip the event queue and sample on demand, and
+	// syncs with no outstanding reads resume without a queue round trip.
+	// Sound only when runs are fully deterministic (no Perturb priorities
+	// or rng draws), untapped (run order shifts reorder tap calls),
+	// uncontended (niBusy is updated in issue order), and free of
+	// event/lock objects (their flags are read inline during runs).
+	fastSync bool
+	// nUndep counts fast-path reads issued but not yet sampled; a zero
+	// lets write dispatches skip the per-processor forcing scan.
+	nUndep int
 }
 
 // Run executes the target program on the simulated machine.
@@ -232,11 +330,18 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 		prog:  prog,
 		cfg:   cfg,
 		opts:  opts,
-		rng:   rand.New(rand.NewSource(opts.Seed)),
 		mem:   NewMemory(prog.Fn.Info, cfg.Procs),
-		queue: make(eventHeap, 0, 4*cfg.Procs),
+		queue: evq{a: make([]evqEntry, 0, 6*cfg.Procs+64)},
 		bar:   barrierState{arrived: make([]float64, cfg.Procs), accID: -1},
 	}
+	// The generator is only consulted under Jitter or Perturb; seeding it
+	// costs more than a whole small deterministic run (the lagged Fibonacci
+	// source initializes 607 words), so plain runs skip it.
+	if opts.Jitter > 0 || opts.Perturb {
+		s.rng = rand.New(rand.NewSource(opts.Seed))
+	}
+	s.fastSync = opts.Tap == nil && !opts.Perturb && opts.Jitter == 0 &&
+		!opts.Contention && len(prog.Fn.Info.Events) == 0 && len(prog.Fn.Info.Locks) == 0
 	for i := range s.bar.arrived {
 		s.bar.arrived[i] = -1
 	}
@@ -262,13 +367,24 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 	}
 	s.tap = opts.Tap
 	s.procs = make([]*proc, 0, cfg.Procs)
+	// One slab apiece for the proc structs, counter states, and landing
+	// lists: three allocations for the whole machine instead of three per
+	// processor. Three-index subslices keep a growing lands list from
+	// spilling into its neighbor's region.
+	procSlab := make([]proc, cfg.Procs)
+	ctrSlab := make([]ctrState, cfg.Procs*prog.Counters)
+	pendSlab := make([]pendingOp, 8*cfg.Procs*prog.Counters)
+	landSlab := make([]landRec, 8*cfg.Procs)
+	for i := range ctrSlab {
+		ctrSlab[i].pending = pendSlab[i*8 : i*8 : (i+1)*8]
+	}
 	for p := 0; p < cfg.Procs; p++ {
-		pr := &proc{
-			id:   p,
-			blk:  prog.Blocks[0],
-			env:  newEnv(prog.Fn),
-			ctrs: make([]ctrState, prog.Counters),
-		}
+		pr := &procSlab[p]
+		pr.id = p
+		pr.blk = prog.Blocks[0]
+		pr.env = newEnv(prog.Fn)
+		pr.ctrs = ctrSlab[p*prog.Counters : (p+1)*prog.Counters : (p+1)*prog.Counters]
+		pr.lands = landSlab[p*8 : p*8 : (p+1)*8]
 		if opts.VerifyDelays != nil {
 			pr.lastCompletion = make([]float64, len(prog.Fn.Accesses))
 			for i := range pr.lastCompletion {
@@ -281,31 +397,74 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 		}
 		s.scheduleResume(0, pr)
 	}
-	for len(s.queue) > 0 && s.err == nil {
+	if opts.Engine == EngineVM {
+		code, err := vm.Compiled(prog)
+		if err != nil {
+			return nil, err
+		}
+		s.vmm = vm.NewMachine(code, &vmHost{s}, cfg.Procs)
+		// With no tap attached, per-block EnterBlock callbacks observe
+		// nothing; eliding them defers ALU charge flushes across block
+		// boundaries but keeps the additions in order, so clocks match.
+		s.vmm.SetTrace(s.tap != nil)
+		// Frames alias the walker's env storage, so landing events
+		// (evGetLand writes env.scalars) work identically for both engines.
+		for _, pr := range s.procs {
+			s.vmm.SetFrame(pr.id, pr.env.scalars, pr.env.arrays)
+		}
+	}
+	for s.queue.len() > 0 && s.err == nil {
 		s.nEv++
 		if s.nEv > opts.MaxEvents {
 			s.err = fmt.Errorf("simulation exceeded %d events (livelock?)", opts.MaxEvents)
 			break
 		}
-		e := heap.Pop(&s.queue).(*event)
-		if e.t > s.last {
-			s.last = e.t
+		ent := s.queue.pop()
+		if ent.t > s.last {
+			s.last = ent.t
 		}
+		if ent.ref < 0 {
+			// Inline event: the payload is the entry itself.
+			p := s.procs[-(ent.ref + 1)]
+			if ent.aux < 0 {
+				// All of this processor's outstanding reads are keyed
+				// before its resume; sample any the fast path deferred.
+				s.depositUpTo(p, ent.t, ent.pri, ent.seq)
+				s.applyLands(p, ent.t, ent.pri, ent.seq)
+				s.resume(p)
+			} else {
+				s.depositRead(p, ent.aux, ent.t, ent.seq)
+			}
+			continue
+		}
+		e := s.store.at(ent.ref)
 		s.dispatch(e)
-		s.free = append(s.free, e)
+		s.free = append(s.free, e.self)
 	}
 	if s.err != nil {
 		return nil, s.err
 	}
+	// Landings from gets that were never synced before ret still complete
+	// on the wire; account them like the drained queue would have. Memory
+	// is final here, so any reads the fast path deferred sample first.
+	for _, p := range s.procs {
+		s.depositUpTo(p, math.Inf(1), 0, s.seq+1)
+		s.applyLands(p, math.Inf(1), 0, s.seq+1)
+	}
 	for _, p := range s.procs {
 		if !p.done {
-			return nil, fmt.Errorf("deadlock: proc %d blocked at block %d stmt %d", p.id, p.blk.ID, p.idx)
+			blk, idx := p.blk.ID, p.idx
+			if s.vmm != nil {
+				blk, idx = s.vmm.Where(p.id)
+			}
+			return nil, fmt.Errorf("deadlock: proc %d blocked at block %d stmt %d", p.id, blk, idx)
 		}
 	}
 	res := &Result{
 		Time:     s.last,
 		Memory:   s.mem.Snapshot(),
 		Messages: s.msgs,
+		Events:   s.nEv,
 	}
 	for _, p := range s.procs {
 		p.stats.Cycles = p.time
@@ -319,34 +478,28 @@ func Run(prog *target.Prog, cfg machine.Config, opts RunOptions) (*Result, error
 }
 
 // alloc hands out an event without scheduling it: recycled from the free
-// list when possible, bump-allocated from the slab otherwise. Under
-// perturbation it also draws the event's tie-break priority: resume events
-// live in a later band than message/memory events, so at equal timestamps
-// a processor only proceeds after all same-time deliveries are applied —
-// the invariant the deterministic seq order provides today — while the
-// deliveries themselves race in random order, as they may on a real
-// network.
+// list when possible, bump-allocated from the store otherwise. Under
+// perturbation it also draws the event's tie-break priority. Resume
+// entries (scheduled inline by scheduleResume) draw from a later band than
+// message/memory events, so at equal timestamps a processor only proceeds
+// after all same-time deliveries are applied — the invariant the
+// deterministic seq order provides today — while the deliveries themselves
+// race in random order, as they may on a real network.
 func (s *sim) alloc(t float64, kind evKind) *event {
 	var e *event
 	if n := len(s.free); n > 0 {
-		e = s.free[n-1]
+		r := s.free[n-1]
 		s.free = s.free[:n-1]
+		e = s.store.at(r)
 		*e = event{}
+		e.self = r
 	} else {
-		if len(s.slab) == 0 {
-			s.slab = make([]event, 256)
-		}
-		e = &s.slab[0]
-		s.slab = s.slab[1:]
+		e, _ = s.store.alloc()
 	}
 	s.seq++
 	e.t, e.seq, e.kind = t, s.seq, kind
 	if s.opts.Perturb {
-		if kind == evResume {
-			e.pri = 1 + s.rng.Float64()
-		} else {
-			e.pri = s.rng.Float64()
-		}
+		e.pri = s.rng.Float64()
 	}
 	return e
 }
@@ -355,7 +508,7 @@ func (s *sim) alloc(t float64, kind evKind) *event {
 // so callers that need to constrain an event's priority (a get's landing
 // must follow its sample at equal time) set pri between alloc and push.
 func (s *sim) push(e *event) *event {
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e
 }
 
@@ -366,26 +519,71 @@ func (s *sim) newEvent(t float64, kind evKind) *event {
 }
 
 func (s *sim) scheduleResume(t float64, p *proc) {
-	e := s.newEvent(t, evResume)
-	e.p = p
+	s.seq++
+	pri := 0.0
+	if s.opts.Perturb {
+		// Resumes live in a later priority band than deliveries at equal
+		// timestamps (see alloc); the draw keeps the rng stream aligned
+		// with the historical event allocation order.
+		pri = 1 + s.rng.Float64()
+	}
+	s.queue.pushInline(t, pri, s.seq, int32(p.id), -1)
 }
 
-// dispatch runs one popped event.
+// depositRead dispatches an inline get-read event: sample memory at the
+// arrival time, deposit into the landing slot.
+func (s *sim) depositRead(p *proc, slot int32, t float64, seq int64) {
+	l := &p.lands[slot]
+	l.val = s.mem.ReadID(l.symID, l.idx)
+	l.deposited = true
+	if s.tap != nil {
+		s.tap.MemEffect(int(l.dyn), false, l.val, t)
+	}
+}
+
+// depositUpTo lazily samples p's pending fast-path reads whose arrival
+// key precedes (t, pri, seq). On the fast path reads never enter the
+// event queue; a sample is forced at the first later-keyed point that
+// could observe or disturb it — a memory write's dispatch, the owning
+// processor's resume, or the final drain. Until then the cell is
+// untouched since the read's arrival (every earlier-keyed write forced a
+// sample before applying), so the deferred sample returns exactly the
+// value the queued read would have. Each sample is charged against the
+// event budget just as popping its queued entry would have been.
+func (s *sim) depositUpTo(p *proc, t, pri float64, seq int64) {
+	if p.nDead == len(p.lands) {
+		return
+	}
+	for i := range p.lands {
+		l := &p.lands[i]
+		if l.deposited || l.dead || !l.arrBefore(t, pri, seq) {
+			continue
+		}
+		l.val = s.mem.ReadID(l.symID, l.idx)
+		l.deposited = true
+		s.nUndep--
+		s.nEv++
+	}
+	if s.nEv > s.opts.MaxEvents {
+		s.err = fmt.Errorf("simulation exceeded %d events (livelock?)", s.opts.MaxEvents)
+	}
+}
+
+// dispatch runs one popped event-store event. Resumes and get-reads never
+// arrive here; they are inline queue entries handled by the run loop.
 func (s *sim) dispatch(e *event) {
 	switch e.kind {
-	case evResume:
-		s.resume(e.p)
-	case evGetRead:
-		e.partner.val = s.mem.Read(e.sym, e.idx)
-		if s.tap != nil {
-			s.tap.MemEffect(e.dyn, false, e.partner.val, e.t)
-		}
-	case evGetLand:
-		e.p.env.scalars[e.dst] = e.val
 	case evMemWrite:
-		s.mem.Write(e.sym, e.idx, e.val)
+		if s.nUndep > 0 {
+			// Fast-path pending reads keyed before this write must
+			// sample the cell's pre-write value.
+			for _, q := range s.procs {
+				s.depositUpTo(q, e.t, e.pri, e.seq)
+			}
+		}
+		s.mem.WriteID(e.symID, e.idx, e.val)
 		if s.tap != nil {
-			s.tap.MemEffect(e.dyn, true, e.val, e.t)
+			s.tap.MemEffect(int(e.dyn), true, e.val, e.t)
 		}
 	case evPost:
 		s.postArrive(e)
@@ -393,6 +591,70 @@ func (s *sim) dispatch(e *event) {
 		s.lockArrive(e)
 	case evLockRel:
 		s.unlockArrive(e)
+	}
+}
+
+// phantomResume accounts the resume event the fast sync path never
+// schedules: the event count (and its livelock bound), the makespan
+// high-water mark, and the landing application at the resume's exact
+// boundary key all match what dispatching a real resume would have done.
+// It reports false when the event bound is exhausted.
+func (s *sim) phantomResume(p *proc, wake float64, bSeq int64) bool {
+	s.nEv++
+	if s.nEv > s.opts.MaxEvents {
+		s.err = fmt.Errorf("simulation exceeded %d events (livelock?)", s.opts.MaxEvents)
+		return false
+	}
+	if wake > s.last {
+		s.last = wake
+	}
+	s.applyLands(p, wake, 0, bSeq)
+	return true
+}
+
+// applyLands writes every pending get landing whose key precedes the
+// resume event's key (those the queue would have dispatched first) into
+// the processor's locals, in key order. Later landings stay pending —
+// their gets have not been synced yet.
+func (s *sim) applyLands(p *proc, t, pri float64, seq int64) {
+	if len(p.lands) == 0 {
+		return
+	}
+	sc := p.scratch[:0]
+	for i := range p.lands {
+		l := &p.lands[i]
+		if !l.dead && l.landBefore(t, pri, seq) {
+			sc = append(sc, int32(i))
+		}
+	}
+	// Insertion-sort the qualifying slots into event-key order: slots are
+	// already in ascending seq (issue) order, so the sort only moves
+	// entries across unequal completion times — local completions
+	// interleaving with slower remote ones. Applying in key order keeps
+	// same-destination landings in exactly the order the queue would have.
+	for i := 1; i < len(sc); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &p.lands[sc[j]], &p.lands[sc[j-1]]
+			if !a.landBefore(b.t, b.pri, b.seq) {
+				break
+			}
+			sc[j], sc[j-1] = sc[j-1], sc[j]
+		}
+	}
+	for _, i := range sc {
+		l := &p.lands[i]
+		p.env.scalars[l.dst] = l.val
+		if l.t > s.last {
+			s.last = l.t
+		}
+		s.nEv++
+		l.dead = true
+	}
+	p.nDead += len(sc)
+	p.scratch = sc[:0]
+	if p.nDead == len(p.lands) {
+		p.lands = p.lands[:0]
+		p.nDead = 0
 	}
 }
 
@@ -440,11 +702,18 @@ func (s *sim) accessLoc(p *proc, acc *ir.Access) (idx int64, owner int, ok bool)
 		s.fail(p, "%v", err)
 		return 0, 0, false
 	}
-	return idx, s.mem.Owner(acc.Sym, idx), true
+	return idx, s.mem.OwnerID(acc.Sym.ID, idx), true
 }
 
 // resume runs processor p until it blocks or finishes.
 func (s *sim) resume(p *proc) {
+	if s.vmm != nil {
+		s.vmm.Resume(p.id)
+		if s.vmm.Done(p.id) {
+			p.done = true
+		}
+		return
+	}
 	for s.err == nil && !p.done {
 		if p.idx >= len(p.blk.Stmts) {
 			if !s.terminate(p) {
@@ -468,7 +737,7 @@ func (s *sim) resume(p *proc) {
 			s.issueStore(p, st)
 			p.idx++
 		case *target.SyncCtr:
-			if !s.syncCtr(p, st) {
+			if !s.syncCtr(p, st.Ctr) {
 				return
 			}
 		default:
@@ -578,8 +847,13 @@ func (s *sim) issueGet(p *proc, g *target.Get) {
 	if !ok {
 		return
 	}
-	dyn := s.tapIssue(p, OpGet, g.Acc, idx)
-	sym := g.Acc.Sym
+	s.issueGetAt(p, g.Acc, idx, owner, g.Dst, g.Ctr)
+}
+
+// issueGetAt is issueGet past operand evaluation — the point the two
+// engines share (the VM host enters here with the index already popped).
+func (s *sim) issueGetAt(p *proc, acc *ir.Access, idx int64, owner int, dst ir.LocalID, ctr target.Ctr) {
+	dyn := s.tapIssue(p, OpGet, acc, idx)
 	var arrival, completion float64
 	if owner == p.id {
 		p.charge(s.cfg.LocalCost)
@@ -592,22 +866,47 @@ func (s *sim) issueGet(p *proc, g *target.Get) {
 		arrival = s.deliver(owner, p.time)
 		completion = arrival + s.cfg.SendOv + s.wire()
 	}
-	st := &p.ctrs[g.Ctr]
+	st := &p.ctrs[ctr]
 	st.pending = append(st.pending, pendingOp{t: completion, ack: owner != p.id})
-	s.recordCompletion(p, g.Acc.ID, completion)
-	// Both events are scheduled now so their sequence numbers precede any
-	// resume event a later sync_ctr schedules at the completion time: the
-	// value must land in the local before the processor proceeds. The read
-	// deposits its sample into the land event via the partner link. Under
-	// perturbation the landing inherits the sample's priority so that at
-	// an equal timestamp (a locally-owned access) the sample still runs
-	// first.
-	read := s.push(s.alloc(arrival, evGetRead))
-	land := s.alloc(completion, evGetLand)
-	land.pri = read.pri
-	s.push(land)
-	read.sym, read.idx, read.partner, read.dyn = sym, idx, land, dyn
-	land.p, land.dst = p, g.Dst
+	s.recordCompletion(p, acc.ID, completion)
+	// The read samples memory through the queue at the arrival time; the
+	// landing goes on the processor's private list, keyed exactly as the
+	// queued land event used to be (the next seq number, the read's
+	// priority band) so it applies at the same point in the event order.
+	// The rng draw mirrors the old land allocation under perturbation,
+	// keeping the jitter stream unchanged.
+	s.seq++
+	readSeq := s.seq
+	pri := 0.0
+	if s.opts.Perturb {
+		pri = s.rng.Float64()
+	}
+	slot := int32(len(p.lands))
+	if s.fastSync {
+		// Lazy read: no queue entry. The sample is forced at the first
+		// later-keyed write dispatch, at this processor's resume, or at
+		// the final drain (see depositUpTo); the seq draws stay so every
+		// event key matches the queued schedule exactly.
+		s.nUndep++
+	} else {
+		s.queue.pushInline(arrival, pri, readSeq, int32(p.id), slot)
+	}
+	s.seq++
+	if s.opts.Perturb {
+		s.rng.Float64()
+	}
+	// Field-at-a-time stores into the (usually recycled) slot: appending a
+	// composite literal copies the full record through a stack temporary.
+	if n := len(p.lands); n < cap(p.lands) {
+		p.lands = p.lands[:n+1]
+	} else {
+		p.lands = append(p.lands, landRec{})
+	}
+	l := &p.lands[slot]
+	l.t, l.pri, l.seq, l.arr, l.idx = completion, pri, s.seq, arrival, idx
+	l.dst, l.symID, l.dyn = int32(dst), int32(acc.Sym.ID), int32(dyn)
+	l.dead, l.deposited = false, false
+	l.val = ir.Value{}
 }
 
 func (s *sim) issuePut(p *proc, pt *target.Put) {
@@ -621,8 +920,12 @@ func (s *sim) issuePut(p *proc, pt *target.Put) {
 		s.fail(p, "%v", err)
 		return
 	}
-	dyn := s.tapIssue(p, OpPut, pt.Acc, idx)
-	sym := pt.Acc.Sym
+	s.issuePutAt(p, pt.Acc, idx, owner, v, pt.Ctr)
+}
+
+// issuePutAt is issuePut past operand evaluation (shared with the VM host).
+func (s *sim) issuePutAt(p *proc, acc *ir.Access, idx int64, owner int, v ir.Value, ctr target.Ctr) {
+	dyn := s.tapIssue(p, OpPut, acc, idx)
 	var arrival, completion float64
 	if owner == p.id {
 		p.charge(s.cfg.LocalCost)
@@ -635,11 +938,11 @@ func (s *sim) issuePut(p *proc, pt *target.Put) {
 		arrival = s.deliver(owner, p.time)
 		completion = arrival + s.cfg.SendOv + s.wire()
 	}
-	st := &p.ctrs[pt.Ctr]
+	st := &p.ctrs[ctr]
 	st.pending = append(st.pending, pendingOp{t: completion, ack: owner != p.id})
-	s.recordCompletion(p, pt.Acc.ID, completion)
+	s.recordCompletion(p, acc.ID, completion)
 	w := s.newEvent(arrival, evMemWrite)
-	w.sym, w.idx, w.val, w.dyn = sym, idx, v, dyn
+	w.symID, w.idx, w.val, w.dyn = int32(acc.Sym.ID), idx, v, int32(dyn)
 }
 
 func (s *sim) issueStore(p *proc, st *target.Store) {
@@ -653,8 +956,13 @@ func (s *sim) issueStore(p *proc, st *target.Store) {
 		s.fail(p, "%v", err)
 		return
 	}
-	dyn := s.tapIssue(p, OpStore, st.Acc, idx)
-	sym := st.Acc.Sym
+	s.issueStoreAt(p, st.Acc, idx, owner, v)
+}
+
+// issueStoreAt is issueStore past operand evaluation (shared with the VM
+// host).
+func (s *sim) issueStoreAt(p *proc, acc *ir.Access, idx int64, owner int, v ir.Value) {
+	dyn := s.tapIssue(p, OpStore, acc, idx)
 	var arrival float64
 	if owner == p.id {
 		p.charge(s.cfg.LocalCost)
@@ -670,7 +978,7 @@ func (s *sim) issueStore(p *proc, st *target.Store) {
 		p.storeMax = arrival
 	}
 	w := s.newEvent(arrival, evMemWrite)
-	w.sym, w.idx, w.val, w.dyn = sym, idx, v, dyn
+	w.symID, w.idx, w.val, w.dyn = int32(acc.Sym.ID), idx, v, int32(dyn)
 }
 
 // syncCtr executes a sync_ctr; false means p yielded to the event loop.
@@ -681,21 +989,54 @@ func (s *sim) issueStore(p *proc, st *target.Store) {
 // one ack overlaps the wait for later completions, so waiting for several
 // outstanding operations on one counter costs the same as draining them
 // through separate counters.
-func (s *sim) syncCtr(p *proc, sc *target.SyncCtr) bool {
-	st := &p.ctrs[sc.Ctr]
+func (s *sim) syncCtr(p *proc, ctr target.Ctr) bool {
+	st := &p.ctrs[ctr]
 	if !p.waiting {
-		p.waiting = true
-		s.tapIssue(p, OpSyncCtr, nil, int64(sc.Ctr))
 		wake := p.time
 		for _, op := range st.pending {
 			if op.t > wake {
 				wake = op.t
 			}
 		}
-		s.scheduleResume(wake, p)
-		return false
+		if s.fastSync {
+			// The resume event this sync would schedule has key
+			// (wake, 0, s.seq+1); the only pending work that can affect
+			// this processor before that key is its own unsampled reads
+			// (everything else it observes is keyed independently: issues
+			// stamp times from p.time, barrier release values are
+			// order-free maxima, and the gates on fastSync exclude
+			// inline-read shared state). If it has none, proceed
+			// immediately without a queue round trip. Otherwise queue a
+			// real resume at the boundary: dispatching it after every
+			// earlier-keyed write guarantees the deferred samples it
+			// forces (see depositUpTo) read the values the queued reads
+			// would have.
+			bSeq := s.seq + 1
+			n := 0
+			for i := range p.lands {
+				l := &p.lands[i]
+				if !l.deposited && !l.dead &&
+					(l.arr < wake || (l.arr == wake && l.seq-1 < bSeq)) {
+					n++
+				}
+			}
+			if n > 0 {
+				p.waiting = true
+				s.scheduleResume(wake, p)
+				return false
+			}
+			if !s.phantomResume(p, wake, bSeq) {
+				return false
+			}
+		} else {
+			p.waiting = true
+			s.tapIssue(p, OpSyncCtr, nil, int64(ctr))
+			s.scheduleResume(wake, p)
+			return false
+		}
+	} else {
+		p.waiting = false
 	}
-	p.waiting = false
 	// Insertion sort by completion time: pending lists are short (a few
 	// outstanding ops per counter) and this avoids sort.Slice's closure.
 	ops := st.pending
@@ -719,66 +1060,74 @@ func (s *sim) syncCtr(p *proc, sc *target.SyncCtr) bool {
 }
 
 // syncOp executes post/wait/lock/unlock/barrier; false means p yielded.
+// The walker enters here and evaluates the element index itself; the VM
+// host enters at syncOpAt with the index already popped off its stack.
 func (s *sim) syncOp(p *proc, acc *ir.Access) bool {
 	if !p.waiting {
 		s.verifyDelays(p, acc)
 	}
+	idx := int64(0)
+	if acc.Index != nil {
+		v, err := evalInt(acc.Index, p.env, s.ctx(p))
+		if err != nil {
+			s.fail(p, "%v", err)
+			return false
+		}
+		idx = v
+	}
+	return s.syncOpDispatch(p, acc, idx)
+}
+
+// syncOpAt is the VM host's entry: operands are already evaluated, and on
+// a waiting re-execution the machine replays the saved index rather than
+// re-running the operand code.
+func (s *sim) syncOpAt(p *proc, acc *ir.Access, idx int64) bool {
+	if !p.waiting {
+		s.verifyDelays(p, acc)
+	}
+	return s.syncOpDispatch(p, acc, idx)
+}
+
+func (s *sim) syncOpDispatch(p *proc, acc *ir.Access, idx int64) bool {
 	switch acc.Kind {
 	case ir.AccBarrier:
 		return s.barrier(p, acc)
 	case ir.AccPost:
-		return s.post(p, acc)
+		return s.post(p, acc, idx)
 	case ir.AccWait:
-		return s.waitEv(p, acc)
+		return s.waitEv(p, acc, idx)
 	case ir.AccLock:
-		return s.lock(p, acc)
+		return s.lock(p, acc, idx)
 	case ir.AccUnlock:
-		return s.unlock(p, acc)
+		return s.unlock(p, acc, idx)
 	default:
 		s.fail(p, "unhandled sync op %s", acc.Kind)
 		return false
 	}
 }
 
-func (s *sim) eventAt(p *proc, acc *ir.Access) (*eventObj, int64, bool) {
-	idx := int64(0)
-	if acc.Index != nil {
-		v, err := evalInt(acc.Index, p.env, s.ctx(p))
-		if err != nil {
-			s.fail(p, "%v", err)
-			return nil, 0, false
-		}
-		idx = v
-	}
+// eventObjAt bounds-checks a pre-evaluated event index.
+func (s *sim) eventObjAt(p *proc, acc *ir.Access, idx int64) (*eventObj, bool) {
 	arr := s.evs[acc.Sym.ID]
 	if idx < 0 || idx >= int64(len(arr)) {
 		s.fail(p, "event index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
-		return nil, 0, false
+		return nil, false
 	}
-	return &arr[idx], idx, true
+	return &arr[idx], true
 }
 
-func (s *sim) lockAt(p *proc, acc *ir.Access) (*lockObj, int64, bool) {
-	idx := int64(0)
-	if acc.Index != nil {
-		v, err := evalInt(acc.Index, p.env, s.ctx(p))
-		if err != nil {
-			s.fail(p, "%v", err)
-			return nil, 0, false
-		}
-		idx = v
-	}
+// lockObjAt bounds-checks a pre-evaluated lock index.
+func (s *sim) lockObjAt(p *proc, acc *ir.Access, idx int64) (*lockObj, bool) {
 	arr := s.lks[acc.Sym.ID]
 	if idx < 0 || idx >= int64(len(arr)) {
 		s.fail(p, "lock index %d out of range for %s[%d]", idx, acc.Sym.Name, len(arr))
-		return nil, 0, false
+		return nil, false
 	}
-	return &arr[idx], idx, true
+	return &arr[idx], true
 }
 
-func (s *sim) post(p *proc, acc *ir.Access) bool {
-	ev, idx, ok := s.eventAt(p, acc)
-	if !ok {
+func (s *sim) post(p *proc, acc *ir.Access, idx int64) bool {
+	if _, ok := s.eventObjAt(p, acc, idx); !ok {
 		return false
 	}
 	dyn := s.tapIssue(p, OpPost, acc, idx)
@@ -787,7 +1136,7 @@ func (s *sim) post(p *proc, acc *ir.Access) bool {
 	s.msgs++
 	arrival := p.time + s.wire() + s.cfg.RecvOv
 	e := s.newEvent(arrival, evPost)
-	e.p, e.ev, e.acc, e.dyn = p, ev, acc, dyn
+	e.proc, e.symID, e.idx, e.accID, e.dyn = int32(p.id), int32(acc.Sym.ID), idx, int32(acc.ID), int32(dyn)
 	p.idx++
 	return true
 }
@@ -795,14 +1144,15 @@ func (s *sim) post(p *proc, acc *ir.Access) bool {
 // postArrive handles a post message reaching the event's manager: flag the
 // object and wake any queued waiters.
 func (s *sim) postArrive(e *event) {
-	ev := e.ev
+	ev := &s.evs[e.symID][e.idx]
 	if ev.posted {
-		s.fail(e.p, "event %s posted twice (MiniSplit events are single-post)", e.acc.Sym.Name)
+		acc := s.prog.Fn.Accesses[e.accID]
+		s.fail(s.procs[e.proc], "event %s posted twice (MiniSplit events are single-post)", acc.Sym.Name)
 		return
 	}
 	ev.posted = true
 	ev.arrival = e.t
-	ev.postDyn = e.dyn
+	ev.postDyn = int(e.dyn)
 	for _, w := range ev.waiters {
 		s.msgs++
 		s.scheduleResume(e.t+s.wire(), w)
@@ -810,8 +1160,8 @@ func (s *sim) postArrive(e *event) {
 	ev.waiters = ev.waiters[:0]
 }
 
-func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
-	ev, idx, ok := s.eventAt(p, acc)
+func (s *sim) waitEv(p *proc, acc *ir.Access, idx int64) bool {
+	ev, ok := s.eventObjAt(p, acc, idx)
 	if !ok {
 		return false
 	}
@@ -846,9 +1196,8 @@ func (s *sim) waitEv(p *proc, acc *ir.Access) bool {
 	return true
 }
 
-func (s *sim) lock(p *proc, acc *ir.Access) bool {
-	lk, idx, ok := s.lockAt(p, acc)
-	if !ok {
+func (s *sim) lock(p *proc, acc *ir.Access, idx int64) bool {
+	if _, ok := s.lockObjAt(p, acc, idx); !ok {
 		return false
 	}
 	if !p.waiting {
@@ -859,7 +1208,7 @@ func (s *sim) lock(p *proc, acc *ir.Access) bool {
 		s.msgs++
 		reqArrival := p.time + s.wire() + s.cfg.RecvOv
 		e := s.newEvent(reqArrival, evLockReq)
-		e.p, e.lk, e.dyn = p, lk, p.pendDyn
+		e.proc, e.symID, e.idx, e.dyn = int32(p.id), int32(acc.Sym.ID), idx, int32(p.pendDyn)
 		return false
 	}
 	p.waiting = false
@@ -871,9 +1220,8 @@ func (s *sim) lock(p *proc, acc *ir.Access) bool {
 	return true
 }
 
-func (s *sim) unlock(p *proc, acc *ir.Access) bool {
-	lk, idx, ok := s.lockAt(p, acc)
-	if !ok {
+func (s *sim) unlock(p *proc, acc *ir.Access, idx int64) bool {
+	if _, ok := s.lockObjAt(p, acc, idx); !ok {
 		return false
 	}
 	dyn := s.tapIssue(p, OpUnlock, acc, idx)
@@ -882,7 +1230,7 @@ func (s *sim) unlock(p *proc, acc *ir.Access) bool {
 	s.msgs++
 	relArrival := p.time + s.wire() + s.cfg.RecvOv
 	e := s.newEvent(relArrival, evLockRel)
-	e.p, e.lk, e.dyn = p, lk, dyn
+	e.proc, e.symID, e.idx, e.dyn = int32(p.id), int32(acc.Sym.ID), idx, int32(dyn)
 	p.idx++
 	return true
 }
@@ -890,11 +1238,11 @@ func (s *sim) unlock(p *proc, acc *ir.Access) bool {
 // lockArrive handles a lock request reaching the lock's manager: grant
 // immediately when free, queue otherwise.
 func (s *sim) lockArrive(e *event) {
-	lk, p := e.lk, e.p
+	lk, p := &s.lks[e.symID][e.idx], s.procs[e.proc]
 	if !lk.held {
 		lk.held = true
 		if s.tap != nil {
-			s.tap.Observe(e.dyn, lk.lastRel)
+			s.tap.Observe(int(e.dyn), lk.lastRel)
 		}
 		grant := e.t
 		if lk.free > grant {
@@ -904,24 +1252,24 @@ func (s *sim) lockArrive(e *event) {
 		p.wakeTime = grant + s.wire()
 		s.scheduleResume(p.wakeTime, p)
 	} else {
-		lk.queue = append(lk.queue, lockWaiter{p: p, dyn: e.dyn})
+		lk.queue = append(lk.queue, lockWaiter{p: p, dyn: int(e.dyn)})
 	}
 }
 
 // unlockArrive handles a release reaching the manager: hand off to the
 // next queued requester or mark the lock free.
 func (s *sim) unlockArrive(e *event) {
-	lk := e.lk
+	lk := &s.lks[e.symID][e.idx]
 	if !lk.held {
-		s.fail(e.p, "unlock of a lock that is not held")
+		s.fail(s.procs[e.proc], "unlock of a lock that is not held")
 		return
 	}
-	lk.lastRel = e.dyn
+	lk.lastRel = int(e.dyn)
 	if len(lk.queue) > 0 {
 		next := lk.queue[0]
 		lk.queue = lk.queue[1:]
 		if s.tap != nil {
-			s.tap.Observe(next.dyn, e.dyn)
+			s.tap.Observe(next.dyn, int(e.dyn))
 		}
 		s.msgs++
 		next.p.wakeTime = e.t + s.wire()

@@ -1,0 +1,128 @@
+package interp
+
+// evqEntry is one scheduled event with its ordering key hoisted out of the
+// event struct and the event named by its store ref. Entries are
+// pointer-free, so heap sifts are plain 32-byte copies: no write barriers
+// and no GC scan work for the queue's backing array (under container/heap
+// with *event elements the barrier flushes alone cost ~15% of a run).
+//
+// The two dominant event kinds — processor resumes and get-read samples —
+// carry so little payload that it fits in the entry itself: a negative ref
+// encodes the processor (-(ref+1)) and aux selects the action (a landRec
+// slot to deposit into, or -1 for a resume). Those events never touch the
+// event store at all: no allocation, no zeroing, no free-list traffic on
+// the simulator's hottest path. aux lives in what was padding, so the
+// entry stays 32 bytes.
+type evqEntry struct {
+	t   float64
+	pri float64
+	seq int64
+	ref evRef // >= 0: event-store slot; < 0: inline event for proc -(ref+1)
+	aux int32 // inline events: landRec slot for a read, -1 for a resume
+}
+
+// evq is a 4-ary min-heap over (t, pri, seq) — the simulator's strict
+// total event order. A 4-ary shape halves the tree depth of a binary heap
+// and keeps each node's children adjacent in one pair of cache lines.
+type evq struct {
+	a []evqEntry
+}
+
+func (q *evq) len() int { return len(q.a) }
+
+// entryLess orders entries by time, then perturbation band, then sequence
+// number — identical to the executor's historical comparator, so the heap
+// pops events in the same order (the key is a strict total order: seq is
+// unique).
+func entryLess(x, y *evqEntry) bool {
+	if x.t != y.t {
+		return x.t < y.t
+	}
+	if x.pri != y.pri {
+		return x.pri < y.pri
+	}
+	return x.seq < y.seq
+}
+
+// push inserts an event, sifting it up from the tail.
+func (q *evq) push(e *event) {
+	q.insert(evqEntry{t: e.t, pri: e.pri, seq: e.seq, ref: e.self})
+}
+
+// pushInline schedules an event that lives entirely in its queue entry:
+// a get-read sample (aux = landRec slot) or a resume (aux = -1) for proc.
+func (q *evq) pushInline(t, pri float64, seq int64, proc, aux int32) {
+	q.insert(evqEntry{t: t, pri: pri, seq: seq, ref: -(proc + 1), aux: aux})
+}
+
+func (q *evq) insert(ent evqEntry) {
+	q.a = append(q.a, ent)
+	a := q.a
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(&ent, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = ent
+}
+
+// pop removes and returns the minimum entry. The root hole is refilled
+// with Floyd's bottom-up scheme: promote the least child down to a leaf
+// (three comparisons per level), then sift the displaced tail entry up
+// from there. Tail entries are late arrivals that nearly always belong at
+// a leaf, so the up-phase usually terminates immediately — one comparison
+// per level cheaper than sifting the tail entry down against each level's
+// least child.
+func (q *evq) pop() evqEntry {
+	a := q.a
+	min := a[0]
+	n := len(a) - 1
+	ent := a[n]
+	q.a = a[:n]
+	if n == 0 {
+		return min
+	}
+	a = q.a
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		// Pick the least of up to four children.
+		least := c
+		if end := c + 4; end > n {
+			for j := c + 1; j < n; j++ {
+				if entryLess(&a[j], &a[least]) {
+					least = j
+				}
+			}
+		} else {
+			if entryLess(&a[c+1], &a[least]) {
+				least = c + 1
+			}
+			if entryLess(&a[c+2], &a[least]) {
+				least = c + 2
+			}
+			if entryLess(&a[c+3], &a[least]) {
+				least = c + 3
+			}
+		}
+		a[i] = a[least]
+		i = least
+	}
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(&ent, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = ent
+	return min
+}

@@ -34,6 +34,21 @@ type Options struct {
 	Locks     int // number of locks (default 1)
 }
 
+// BigProc returns generation options for many-processor runs (hundreds to
+// thousands of simulated processors): no events or locks, so the
+// executor's deterministic fast path engages and run time stays bounded
+// by the phase structure rather than lock convoys, and a slightly wider
+// phase mix so barrier fan-in at scale is actually exercised.
+func BigProc(procs int) Options {
+	return Options{
+		Procs:     procs,
+		MaxPhases: 4,
+		MaxStmts:  5,
+		Events:    -1,
+		Locks:     -1,
+	}
+}
+
 func (o Options) withDefaults() Options {
 	if o.MaxPhases == 0 {
 		o.MaxPhases = 3
@@ -50,11 +65,16 @@ func (o Options) withDefaults() Options {
 	if o.Scalars == 0 {
 		o.Scalars = 2
 	}
+	// Zero means "default"; negative explicitly requests none.
 	if o.Events == 0 {
 		o.Events = 1
+	} else if o.Events < 0 {
+		o.Events = 0
 	}
 	if o.Locks == 0 {
 		o.Locks = 1
+	} else if o.Locks < 0 {
+		o.Locks = 0
 	}
 	return o
 }

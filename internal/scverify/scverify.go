@@ -41,6 +41,10 @@ type Schedule struct {
 	Seed    int64
 	Jitter  float64
 	Perturb bool
+	// Engine selects the executor's block-execution engine for this
+	// schedule's run; the zero value is the bytecode VM. Verify stamps
+	// every schedule with Options.Engine.
+	Engine interp.Engine
 }
 
 // String renders the schedule compactly, e.g. "seed=3 jitter=0.45 perturb".
@@ -83,6 +87,7 @@ func RunOne(prog *target.Prog, cfg machine.Config, sch Schedule) (*interp.Result
 		Jitter:  sch.Jitter,
 		Perturb: sch.Perturb,
 		Tap:     col,
+		Engine:  sch.Engine,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -124,6 +129,10 @@ type Options struct {
 	// (default 1_000_000 states; the partial-order-reduced checker makes
 	// this cheap).
 	EnumBudget int
+	// Engine selects the block-execution engine for every verified run
+	// (and the blocking reference). The zero value is the bytecode VM;
+	// EngineWalker rechecks the same schedules under the AST walker.
+	Engine interp.Engine
 }
 
 // LevelReport is the verification outcome for one optimization level.
@@ -222,7 +231,7 @@ func Verify(src string, opts Options) (*Report, error) {
 	var refKey string
 	var scOutcomes map[string]bool
 	if opts.Deterministic {
-		res, err := ref.Run(cfg, interp.RunOptions{})
+		res, err := ref.Run(cfg, interp.RunOptions{Engine: opts.Engine})
 		if err != nil {
 			return nil, fmt.Errorf("scverify: blocking reference run: %w", err)
 		}
@@ -245,6 +254,7 @@ func Verify(src string, opts Options) (*Report, error) {
 		}
 		lr := &LevelReport{Level: level, DelayPairs: prog.Analysis.D.Size() - len(opts.Weaken)}
 		for _, sch := range opts.Schedules {
+			sch.Engine = opts.Engine
 			res, viol, err := RunOne(prog.Target, cfg, sch)
 			if err != nil {
 				return nil, fmt.Errorf("scverify: %s %v: %w", level, sch, err)

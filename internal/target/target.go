@@ -23,6 +23,7 @@ package target
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ir"
 )
@@ -176,7 +177,21 @@ type Prog struct {
 	Fn       *ir.Fn
 	Blocks   []*Block
 	Counters int
+
+	// engineCache memoizes execution artifacts derived from the program —
+	// the bytecode image the VM engine compiles (internal/vm). It lives
+	// here, behind an atomic slot, so every run of one compiled program
+	// (benchmark grids, the verifier's schedule loops) shares a single
+	// compile; target itself never inspects the value.
+	engineCache atomic.Value
 }
+
+// EngineCache returns the cached execution artifact, or nil.
+func (p *Prog) EngineCache() any { return p.engineCache.Load() }
+
+// SetEngineCache publishes an execution artifact for reuse by later runs.
+// Concurrent stores are benign: both values are equivalent and either wins.
+func (p *Prog) SetEngineCache(v any) { p.engineCache.Store(v) }
 
 // NewBlock appends a fresh empty block with the given ID and returns it.
 // The code generator mirrors the IR CFG, so IDs equal slice positions.

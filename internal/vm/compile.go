@@ -1,0 +1,402 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/source"
+	"repro/internal/target"
+)
+
+// PrintSpec is one print statement's argument layout: the literal/expr
+// interleaving plus how many expression values the op pops.
+type PrintSpec struct {
+	Args  []ir.PrintArg
+	NExpr int32
+}
+
+// Program is a compiled bytecode image: the flat code array plus the pools
+// its operand indices refer to and the pc-to-source tables diagnostics and
+// the disassembler use.
+type Program struct {
+	Code     []Op
+	Consts   []ir.Value
+	Builtins []string
+	Prints   []PrintSpec
+	BlockPC  []int32 // block ID -> entry pc
+	PcBlock  []int32 // pc -> enclosing block ID
+	PcStmt   []int32 // pc -> statement index in block (len(stmts) = terminator)
+	MaxStack int     // peak value-stack depth of any statement
+	Source   *target.Prog
+}
+
+// Compiled returns prog's bytecode, compiling on first use. The image is
+// cached on the target program (an atomic slot), so repeated runs — the
+// benchmark grids, the verifier's schedule loops — compile once.
+func Compiled(tp *target.Prog) (*Program, error) {
+	if c, ok := tp.EngineCache().(*Program); ok {
+		return c, nil
+	}
+	p, err := Compile(tp)
+	if err != nil {
+		return nil, err
+	}
+	tp.SetEngineCache(p)
+	return p, nil
+}
+
+// Compile flattens a target program to bytecode.
+func Compile(tp *target.Prog) (*Program, error) {
+	c := &compiler{
+		out: &Program{
+			BlockPC: make([]int32, len(tp.Blocks)),
+			Source:  tp,
+		},
+		constIdx:   map[ir.Value]int32{},
+		builtinIdx: map[string]int32{},
+	}
+	for _, b := range tp.Blocks {
+		c.out.BlockPC[b.ID] = int32(len(c.out.Code))
+		c.blk = int32(b.ID)
+		for i, s := range b.Stmts {
+			c.stmt = int32(i)
+			if err := c.compileStmt(s); err != nil {
+				return nil, err
+			}
+		}
+		c.stmt = int32(len(b.Stmts))
+		if err := c.compileTerm(b); err != nil {
+			return nil, err
+		}
+	}
+	// Jump operands were emitted as block IDs; rewrite them to entry pcs
+	// now that every block's position is known.
+	for i := range c.out.Code {
+		op := &c.out.Code[i]
+		switch op.Code {
+		case OpJump:
+			op.A = c.out.BlockPC[op.A]
+		case OpBranch:
+			op.A = c.out.BlockPC[op.A]
+			op.B = c.out.BlockPC[op.B]
+		}
+	}
+	c.out.MaxStack = c.max
+	return c.out, nil
+}
+
+type compiler struct {
+	out        *Program
+	constIdx   map[ir.Value]int32
+	builtinIdx map[string]int32
+	blk, stmt  int32
+	cur, max   int
+}
+
+// emit appends one op, records its source position, and tracks the value
+// stack's peak depth.
+func (c *compiler) emit(code OpCode, a, b, d int32) {
+	c.out.Code = append(c.out.Code, Op{Code: code, A: a, B: b, C: d})
+	c.out.PcBlock = append(c.out.PcBlock, c.blk)
+	c.out.PcStmt = append(c.out.PcStmt, c.stmt)
+	switch code {
+	case OpConst, OpLocal, OpMyProc, OpProcs:
+		c.cur++
+	case OpBin, OpAssign, OpBranch, OpGet, OpPut0, OpStore0, OpSync:
+		c.cur--
+	case OpSetElem, OpPut, OpStore:
+		c.cur -= 2
+	case OpBuiltin:
+		c.cur -= int(b) - 1
+	case OpPrint:
+		c.cur -= int(b)
+	}
+	if c.cur > c.max {
+		c.max = c.cur
+	}
+}
+
+// fuseTail replaces the last k emitted ops with one fused superinstruction,
+// truncating the pc-to-source tables in step so they stay aligned with the
+// code array. The replaced ops always belong to the current statement (an
+// operand and its immediate consumer), so the surviving slot's recorded
+// block and statement are already correct. dcur corrects the tracked stack
+// depth to the fused op's net effect; the pre-fusion peak is kept, which
+// can only over-size MaxStack, never under-size it.
+func (c *compiler) fuseTail(k int, op Op, dcur int) {
+	n := len(c.out.Code) - (k - 1)
+	c.out.Code = c.out.Code[:n]
+	c.out.PcBlock = c.out.PcBlock[:n]
+	c.out.PcStmt = c.out.PcStmt[:n]
+	c.out.Code[n-1] = op
+	c.cur += dcur
+}
+
+// emitBin emits a binary operation, fusing it with simple operands. An
+// expression's final op is OpLocal or OpConst only when the expression is
+// exactly a local or constant reference, so matching the code tail
+// identifies single-op operands without any tree analysis.
+func (c *compiler) emitBin(binop int32) {
+	code := c.out.Code
+	n := len(code)
+	if n >= 2 {
+		x, y := code[n-2].Code, code[n-1].Code
+		switch {
+		case x == OpLocal && y == OpLocal:
+			c.fuseTail(2, Op{Code: OpBinLL, A: binop, B: code[n-2].A, C: code[n-1].A}, -1)
+			return
+		case x == OpLocal && y == OpConst:
+			c.fuseTail(2, Op{Code: OpBinLC, A: binop, B: code[n-2].A, C: code[n-1].A}, -1)
+			return
+		case x == OpConst && y == OpLocal:
+			c.fuseTail(2, Op{Code: OpBinCL, A: binop, B: code[n-2].A, C: code[n-1].A}, -1)
+			return
+		case x == OpMyProc && y == OpConst:
+			c.fuseTail(2, Op{Code: OpBinMC, A: binop, B: code[n-1].A}, -1)
+			return
+		case x == OpMyProc && y == OpLocal:
+			c.fuseTail(2, Op{Code: OpBinML, A: binop, B: code[n-1].A}, -1)
+			return
+		// Chains: the left operand's code ends in a one-dispatch bin op
+		// whose operator can ride in A's high bits alongside this one.
+		case x == OpBinMC && y == OpLocal:
+			c.fuseTail(2, Op{Code: OpBin2MCL, A: code[n-2].A | binop<<8, B: code[n-2].B, C: code[n-1].A}, -1)
+			return
+		case x == OpBinMC && y == OpConst:
+			c.fuseTail(2, Op{Code: OpBin2MCC, A: code[n-2].A | binop<<8, B: code[n-2].B, C: code[n-1].A}, -1)
+			return
+		case x == OpBinTC && y == OpLocal:
+			c.fuseTail(2, Op{Code: OpBin2TCL, A: code[n-2].A | binop<<8, B: code[n-2].B, C: code[n-1].A}, -1)
+			return
+		case x == OpBinTC && y == OpConst:
+			c.fuseTail(2, Op{Code: OpBin2TCC, A: code[n-2].A | binop<<8, B: code[n-2].B, C: code[n-1].A}, -1)
+			return
+		case x == OpBinTL && y == OpLocal:
+			c.fuseTail(2, Op{Code: OpBin2TLL, A: code[n-2].A | binop<<8, B: code[n-2].B, C: code[n-1].A}, -1)
+			return
+		case x == OpBinTL && y == OpConst:
+			c.fuseTail(2, Op{Code: OpBin2TLC, A: code[n-2].A | binop<<8, B: code[n-2].B, C: code[n-1].A}, -1)
+			return
+		}
+	}
+	if n >= 1 {
+		switch code[n-1].Code {
+		case OpLocal:
+			c.fuseTail(1, Op{Code: OpBinTL, A: binop, B: code[n-1].A}, -1)
+			return
+		case OpConst:
+			c.fuseTail(1, Op{Code: OpBinTC, A: binop, B: code[n-1].A}, -1)
+			return
+		}
+	}
+	c.emit(OpBin, binop, 0, 0)
+}
+
+// lastLocal returns the local ID if the last emitted op is an OpLocal
+// (meaning the just-compiled subexpression was exactly a local reference).
+func (c *compiler) lastLocal() (int32, bool) {
+	if n := len(c.out.Code); n > 0 && c.out.Code[n-1].Code == OpLocal {
+		return c.out.Code[n-1].A, true
+	}
+	return 0, false
+}
+
+func (c *compiler) internConst(v ir.Value) int32 {
+	if i, ok := c.constIdx[v]; ok {
+		return i
+	}
+	i := int32(len(c.out.Consts))
+	c.out.Consts = append(c.out.Consts, v)
+	c.constIdx[v] = i
+	return i
+}
+
+func (c *compiler) internBuiltin(name string) int32 {
+	if i, ok := c.builtinIdx[name]; ok {
+		return i
+	}
+	i := int32(len(c.out.Builtins))
+	c.out.Builtins = append(c.out.Builtins, name)
+	c.builtinIdx[name] = i
+	return i
+}
+
+// compileExpr emits postfix ops leaving the expression's value on top of
+// the stack, in the walker's evaluation order (left before right).
+func (c *compiler) compileExpr(e ir.Expr) error {
+	switch e := e.(type) {
+	case *ir.Const:
+		c.emit(OpConst, c.internConst(e.Val), 0, 0)
+	case *ir.LocalRef:
+		c.emit(OpLocal, int32(e.ID), 0, 0)
+	case *ir.ElemRef:
+		if err := c.compileExpr(e.Index); err != nil {
+			return err
+		}
+		if id, ok := c.lastLocal(); ok {
+			c.fuseTail(1, Op{Code: OpElemL, A: int32(e.Arr), B: id}, 0)
+		} else {
+			c.emit(OpElem, int32(e.Arr), 0, 0)
+		}
+	case *ir.MyProc:
+		c.emit(OpMyProc, 0, 0, 0)
+	case *ir.Procs:
+		c.emit(OpProcs, 0, 0, 0)
+	case *ir.Bin:
+		if err := c.compileExpr(e.L); err != nil {
+			return err
+		}
+		if err := c.compileExpr(e.R); err != nil {
+			return err
+		}
+		c.emitBin(int32(e.Op))
+	case *ir.Un:
+		if err := c.compileExpr(e.X); err != nil {
+			return err
+		}
+		c.emit(OpUn, int32(e.Op), 0, 0)
+	case *ir.BuiltinCall:
+		for _, a := range e.Args {
+			if err := c.compileExpr(a); err != nil {
+				return err
+			}
+		}
+		c.emit(OpBuiltin, c.internBuiltin(e.Name), int32(len(e.Args)), 0)
+	default:
+		return fmt.Errorf("vm: unhandled expression %T", e)
+	}
+	return nil
+}
+
+func (c *compiler) compileStmt(s target.Stmt) error {
+	switch s := s.(type) {
+	case *target.Wrap:
+		return c.compileWrapped(s.S)
+	case *target.Get:
+		if s.Acc.Index != nil {
+			if err := c.compileExpr(s.Acc.Index); err != nil {
+				return err
+			}
+			c.emit(OpGet, int32(s.Acc.ID), int32(s.Dst), int32(s.Ctr))
+		} else {
+			c.emit(OpGet0, int32(s.Acc.ID), int32(s.Dst), int32(s.Ctr))
+		}
+	case *target.Put:
+		// The walker evaluates the element index (accessLoc) before the
+		// stored value; compile in the same order.
+		if s.Acc.Index != nil {
+			if err := c.compileExpr(s.Acc.Index); err != nil {
+				return err
+			}
+			if err := c.compileExpr(s.Src); err != nil {
+				return err
+			}
+			c.emit(OpPut, int32(s.Acc.ID), 0, int32(s.Ctr))
+		} else {
+			if err := c.compileExpr(s.Src); err != nil {
+				return err
+			}
+			c.emit(OpPut0, int32(s.Acc.ID), 0, int32(s.Ctr))
+		}
+	case *target.Store:
+		if s.Acc.Index != nil {
+			if err := c.compileExpr(s.Acc.Index); err != nil {
+				return err
+			}
+			if err := c.compileExpr(s.Src); err != nil {
+				return err
+			}
+			c.emit(OpStore, int32(s.Acc.ID), 0, 0)
+		} else {
+			if err := c.compileExpr(s.Src); err != nil {
+				return err
+			}
+			c.emit(OpStore0, int32(s.Acc.ID), 0, 0)
+		}
+	case *target.SyncCtr:
+		c.emit(OpSyncCtr, int32(s.Ctr), 0, 0)
+	default:
+		return fmt.Errorf("vm: unhandled target statement %T", s)
+	}
+	return nil
+}
+
+func (c *compiler) compileWrapped(s ir.Stmt) error {
+	switch s := s.(type) {
+	case *ir.Assign:
+		if err := c.compileExpr(s.Src); err != nil {
+			return err
+		}
+		if n := len(c.out.Code); n > 0 {
+			switch last := c.out.Code[n-1]; {
+			case last.Code == OpLocal:
+				c.fuseTail(1, Op{Code: OpMove, A: int32(s.Dst), B: last.A}, -1)
+				return nil
+			case last.Code == OpConst:
+				c.fuseTail(1, Op{Code: OpLoadK, A: int32(s.Dst), B: last.A}, -1)
+				return nil
+			case last.Code == OpBinLC && last.A == int32(source.OpAdd) && last.B == int32(s.Dst):
+				// The loop-counter idiom i = i + c.
+				c.fuseTail(1, Op{Code: OpIncLC, A: int32(s.Dst), B: last.C}, -1)
+				return nil
+			}
+		}
+		c.emit(OpAssign, int32(s.Dst), 0, 0)
+	case *ir.SetElem:
+		// Walker order: index, bounds check, then the stored value.
+		if err := c.compileExpr(s.Index); err != nil {
+			return err
+		}
+		if id, ok := c.lastLocal(); ok {
+			c.fuseTail(1, Op{Code: OpSetIdxL, A: int32(s.Arr), B: id}, 0)
+		} else {
+			c.emit(OpSetIdx, int32(s.Arr), 0, 0)
+		}
+		if err := c.compileExpr(s.Src); err != nil {
+			return err
+		}
+		c.emit(OpSetElem, int32(s.Arr), 0, 0)
+	case *ir.Print:
+		nexpr := int32(0)
+		for _, a := range s.Args {
+			if !a.IsStr {
+				if err := c.compileExpr(a.E); err != nil {
+					return err
+				}
+				nexpr++
+			}
+		}
+		idx := int32(len(c.out.Prints))
+		c.out.Prints = append(c.out.Prints, PrintSpec{Args: s.Args, NExpr: nexpr})
+		c.emit(OpPrint, idx, nexpr, 0)
+	case *ir.SyncOp:
+		if s.Acc.Index != nil {
+			if err := c.compileExpr(s.Acc.Index); err != nil {
+				return err
+			}
+			c.emit(OpSync, int32(s.Acc.ID), 0, 0)
+		} else {
+			c.emit(OpSync0, int32(s.Acc.ID), 0, 0)
+		}
+	default:
+		return fmt.Errorf("vm: unhandled wrapped statement %T", s)
+	}
+	return nil
+}
+
+func (c *compiler) compileTerm(b *target.Block) error {
+	switch t := b.Term.(type) {
+	case *target.Jump:
+		c.emit(OpJump, int32(t.To.ID), 0, 0)
+	case *target.Branch:
+		if err := c.compileExpr(t.Cond); err != nil {
+			return err
+		}
+		c.emit(OpBranch, int32(t.Then.ID), int32(t.Else.ID), 0)
+	case *target.Ret:
+		c.emit(OpRet, 0, 0, 0)
+	default:
+		return fmt.Errorf("vm: block b%d has no terminator", b.ID)
+	}
+	return nil
+}
