@@ -22,6 +22,12 @@ import (
 // AnalysisSizes are the access-count targets of the scaling grid.
 var AnalysisSizes = []int{64, 128, 256, 512}
 
+// AnalysisTiers are the pinned progen scale tiers appended to the grid
+// (see progen.ScaleTiers). Only the 2k tier runs by default: the whole-
+// graph comparison column alone costs ~25s there, and the larger tiers
+// multiply that by the region engine's own asymptotic advantage.
+var AnalysisTiers = []string{"acc2048"}
+
 // AnalysisRow is one program size's measurements.
 type AnalysisRow struct {
 	Target        int     `json:"target"`
@@ -30,8 +36,11 @@ type AnalysisRow struct {
 	ConflictPairs int     `json:"conflict_pairs"`
 	BaselinePairs int     `json:"baseline_pairs"`
 	FinalPairs    int     `json:"final_pairs"`
+	Regions       int     `json:"regions"`
 	DelayMS       float64 `json:"delay_ms"`   // plain Shasha-Snir delay set
-	AnalyzeMS     float64 `json:"analyze_ms"` // full synchronization analysis
+	AnalyzeMS     float64 `json:"analyze_ms"` // full pipeline, regionized engine
+	WholeMS       float64 `json:"whole_ms"`   // full pipeline, whole-graph engine
+	IncrMS        float64 `json:"incr_ms"`    // incremental recheck of an unchanged rebuild
 }
 
 // analysisProgram deterministically selects the benchmark program for a
@@ -77,28 +86,66 @@ func bestOfMS(reps int, fn func()) float64 {
 	return float64(best) / float64(time.Millisecond)
 }
 
+// measureRow runs the full measurement battery for one selected program.
+// The expensive whole-graph comparison drops to a single repetition on the
+// pinned tiers, where one run already takes tens of seconds.
+func measureRow(fn *ir.Fn, target int, seed int64) AnalysisRow {
+	ag := ir.BuildAccessGraph(fn)
+	cs := conflict.Compute(fn)
+	res := syncanal.Analyze(fn, syncanal.Options{})
+	reps := 3
+	if target >= 2048 {
+		reps = 1
+	}
+	inc := syncanal.NewIncremental(syncanal.Options{})
+	inc.Analyze(fn)
+	return AnalysisRow{
+		Target:        target,
+		Seed:          seed,
+		Accesses:      len(fn.Accesses),
+		ConflictPairs: cs.Size(),
+		BaselinePairs: res.Baseline.Size(),
+		FinalPairs:    res.D.Size(),
+		Regions:       res.Regions,
+		DelayMS:       bestOfMS(3, func() { delay.ShashaSnir(ag, cs) }),
+		AnalyzeMS:     bestOfMS(reps, func() { syncanal.Analyze(fn, syncanal.Options{}) }),
+		WholeMS: bestOfMS(reps, func() {
+			syncanal.Analyze(fn, syncanal.Options{Engine: delay.EngineWhole})
+		}),
+		IncrMS: bestOfMS(3, func() { inc.Analyze(fn) }),
+	}
+}
+
 // RunAnalysisScaling measures delay.ShashaSnir and the full
-// syncanal.Analyze pipeline at each target size.
-func RunAnalysisScaling(sizes []int) ([]AnalysisRow, error) {
-	rows := make([]AnalysisRow, 0, len(sizes))
+// syncanal.Analyze pipeline — regionized, whole-graph, and incremental —
+// at each target size, then on each named progen scale tier.
+func RunAnalysisScaling(sizes []int, tiers []string) ([]AnalysisRow, error) {
+	rows := make([]AnalysisRow, 0, len(sizes)+len(tiers))
 	for _, target := range sizes {
 		fn, seed, err := analysisProgram(target)
 		if err != nil {
 			return nil, err
 		}
-		ag := ir.BuildAccessGraph(fn)
-		cs := conflict.Compute(fn)
-		res := syncanal.Analyze(fn, syncanal.Options{})
-		rows = append(rows, AnalysisRow{
-			Target:        target,
-			Seed:          seed,
-			Accesses:      len(fn.Accesses),
-			ConflictPairs: cs.Size(),
-			BaselinePairs: res.Baseline.Size(),
-			FinalPairs:    res.D.Size(),
-			DelayMS:       bestOfMS(3, func() { delay.ShashaSnir(ag, cs) }),
-			AnalyzeMS:     bestOfMS(3, func() { syncanal.Analyze(fn, syncanal.Options{}) }),
-		})
+		rows = append(rows, measureRow(fn, target, seed))
+	}
+	for _, name := range tiers {
+		tier, ok := progen.FindScaleTier(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scale tier %q", name)
+		}
+		prog, err := source.Parse(progen.Generate(tier.Seed, tier.Opts))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		fn, err := ir.Build(info, ir.BuildOptions{Procs: tier.Opts.Procs})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, measureRow(fn, tier.Accesses, tier.Seed))
 	}
 	return rows, nil
 }
@@ -106,11 +153,12 @@ func RunAnalysisScaling(sizes []int) ([]AnalysisRow, error) {
 // FormatAnalysis renders the scaling table.
 func FormatAnalysis(rows []AnalysisRow) string {
 	var sb strings.Builder
-	sb.WriteString("Analysis scaling (progen programs; best of 3)\n")
-	sb.WriteString("  accesses  conflicts  baseline|D|  final|D|   delay ms  analyze ms\n")
+	sb.WriteString("Analysis scaling (progen programs; best of 3, tiers best of 1)\n")
+	sb.WriteString("  accesses  conflicts  baseline|D|  final|D|  regions   delay ms  analyze ms    whole ms  incr ms\n")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "  %8d  %9d  %11d  %8d  %9.2f  %10.2f\n",
-			r.Accesses, r.ConflictPairs, r.BaselinePairs, r.FinalPairs, r.DelayMS, r.AnalyzeMS)
+		fmt.Fprintf(&sb, "  %8d  %9d  %11d  %8d  %7d  %9.2f  %10.2f  %10.2f  %7.2f\n",
+			r.Accesses, r.ConflictPairs, r.BaselinePairs, r.FinalPairs, r.Regions,
+			r.DelayMS, r.AnalyzeMS, r.WholeMS, r.IncrMS)
 	}
 	return sb.String()
 }

@@ -20,46 +20,120 @@
 package conflict
 
 import (
+	"math/bits"
+
 	"repro/internal/graph"
 	"repro/internal/ir"
+	"repro/internal/sem"
 )
 
 // Set is the computed conflict relation over a function's accesses. The
 // symmetric adjacency is stored as bitset rows so the delay-set engine can
 // reuse them word-parallel, at n/64 words per row instead of n bools.
+//
+// Accesses are partitioned into similarity groups — same kind, same symbol,
+// same index expression — and the conflict decision is made once per group
+// pair: conflicts() inspects nothing else, so every member pair of a group
+// pair (including an access paired with itself) gets the same answer. The
+// grouping turns the Theta(n^2) pairwise sweep into O(g^2) decisions plus
+// word-parallel row fills, and the group structure itself is exported
+// (GroupOf, GroupMembers, GroupAdj) because the regionized delay engine
+// compresses the quadratic conflict edge set through the same groups.
 type Set struct {
 	fn       *ir.Fn
-	partners [][]int          // partners[a] = accesses conflicting with a (sorted)
+	partners [][]int          // partners[a], shared with the group (sorted)
 	matrix   *graph.BitMatrix // n x n symmetric adjacency
 	n        int
+
+	groupOf  []int32    // access -> group
+	members  [][]uint64 // group -> member bitset
+	groupAdj [][]int32  // group -> conflicting groups (ascending)
+	ngroups  int
 }
 
 // Compute builds the conflict set for fn.
 func Compute(fn *ir.Fn) *Set {
 	n := len(fn.Accesses)
 	s := &Set{fn: fn, partners: make([][]int, n), matrix: graph.NewBitMatrix(n), n: n}
+
+	// Partition into similarity groups.
+	type key struct {
+		kind ir.AccessKind
+		sym  *sem.Symbol
+		idx  string
+	}
+	gid := make(map[key]int32)
+	s.groupOf = make([]int32, n)
+	var reps []int
+	for i, a := range fn.Accesses {
+		k := key{kind: a.Kind, sym: a.Sym}
+		if a.Index != nil {
+			k.idx = fn.ExprString(a.Index)
+		}
+		id, ok := gid[k]
+		if !ok {
+			id = int32(len(reps))
+			gid[k] = id
+			reps = append(reps, i)
+		}
+		s.groupOf[i] = id
+	}
+	g := len(reps)
+	s.ngroups = g
+	w := graph.WordsFor(n)
+	s.members = make([][]uint64, g)
+	for i := range s.members {
+		s.members[i] = make([]uint64, w)
+	}
 	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			if conflicts(fn, fn.Accesses[i], fn.Accesses[j]) {
-				s.matrix.Set(i, j)
-				s.matrix.Set(j, i)
+		graph.BitSet(s.members[s.groupOf[i]], i)
+	}
+
+	// One conflict decision per group pair.
+	s.groupAdj = make([][]int32, g)
+	for gi := 0; gi < g; gi++ {
+		for gj := gi; gj < g; gj++ {
+			if conflicts(fn, fn.Accesses[reps[gi]], fn.Accesses[reps[gj]]) {
+				s.groupAdj[gi] = append(s.groupAdj[gi], int32(gj))
+				if gj != gi {
+					s.groupAdj[gj] = append(s.groupAdj[gj], int32(gi))
+				}
 			}
 		}
 	}
-	// Pre-size each partner list from its row's popcount: one exact
-	// allocation per access instead of append-doubling.
-	for i := 0; i < n; i++ {
-		c := s.matrix.RowCount(i)
-		if c == 0 {
-			continue
+
+	// Row content is per group: the union of the conflicting groups'
+	// member masks, copied to each member's matrix row. The shared partner
+	// list is decoded once per group from the same row.
+	row := make([]uint64, w)
+	for gi := 0; gi < g; gi++ {
+		for i := range row {
+			row[i] = 0
 		}
-		p := make([]int, 0, c)
-		for j := 0; j < n; j++ {
-			if s.matrix.Has(i, j) {
-				p = append(p, j)
+		cnt := 0
+		for _, gj := range s.groupAdj[gi] {
+			for i, mw := range s.members[gj] {
+				row[i] |= mw
 			}
 		}
-		s.partners[i] = p
+		for _, rw := range row {
+			cnt += bits.OnesCount64(rw)
+		}
+		var plist []int
+		if cnt > 0 {
+			plist = make([]int, 0, cnt)
+			for j := 0; j < n; j++ {
+				if graph.BitGet(row, j) {
+					plist = append(plist, j)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if s.groupOf[i] == int32(gi) {
+				copy(s.matrix.Row(i), row)
+				s.partners[i] = plist
+			}
+		}
 	}
 	return s
 }
@@ -148,3 +222,20 @@ func (s *Set) Size() int {
 
 // N returns the number of accesses.
 func (s *Set) N() int { return s.n }
+
+// NumGroups returns the number of similarity groups (accesses with the same
+// kind, symbol, and index expression; the conflict decision is uniform
+// across a group pair).
+func (s *Set) NumGroups() int { return s.ngroups }
+
+// GroupOf returns the similarity group of access a.
+func (s *Set) GroupOf(a int) int32 { return s.groupOf[a] }
+
+// GroupMembers returns group g's member set as a shared bitset row of
+// graph.WordsFor(N()) words; callers must not modify it.
+func (s *Set) GroupMembers(g int) []uint64 { return s.members[g] }
+
+// GroupAdj returns the groups conflicting with group g (ascending, possibly
+// including g itself). Every member of g conflicts with every member of
+// each listed group — including itself when g lists itself.
+func (s *Set) GroupAdj(g int) []int32 { return s.groupAdj[g] }

@@ -2,6 +2,7 @@ package delay
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/conflict"
@@ -41,18 +42,52 @@ func benchProgram(tb testing.TB, target int) *ir.Fn {
 	return nil
 }
 
+// tierFn builds a pinned progen scale tier (no seed scan at bench time).
+func tierFn(tb testing.TB, name string) *ir.Fn {
+	tb.Helper()
+	tier, ok := progen.FindScaleTier(name)
+	if !ok {
+		tb.Fatalf("unknown scale tier %q", name)
+	}
+	prog, err := source.Parse(progen.Generate(tier.Seed, tier.Opts))
+	if err != nil {
+		tb.Fatalf("%s: parse: %v", name, err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		tb.Fatalf("%s: sem: %v", name, err)
+	}
+	fn, err := ir.Build(info, ir.BuildOptions{Procs: tier.Opts.Procs})
+	if err != nil {
+		tb.Fatalf("%s: build: %v", name, err)
+	}
+	return fn
+}
+
 // BenchmarkAnalysisDelayCompute measures the back-path engine alone
-// (plain Shasha-Snir over a prebuilt access graph and conflict set).
+// (plain Shasha-Snir over a prebuilt access graph and conflict set). The
+// small sizes scan for a seed; the large entries are the pinned
+// progen.ScaleTiers programs, exercising the hub-compressed symmetric
+// engine far past the quadratic-matrix sizes.
 func BenchmarkAnalysisDelayCompute(b *testing.B) {
-	for _, size := range []int{64, 128, 256, 512} {
-		fn := benchProgram(b, size)
+	run := func(name string, fn *ir.Fn) {
 		ag := ir.BuildAccessGraph(fn)
 		cs := conflict.Compute(fn)
-		b.Run(fmt.Sprintf("acc%d", size), func(b *testing.B) {
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				ShashaSnir(ag, cs)
 			}
 		})
+	}
+	for _, size := range []int{64, 128, 256, 512} {
+		run(fmt.Sprintf("acc%d", size), benchProgram(b, size))
+	}
+	if os.Getenv("PSC_SCALE_TIERS") == "" {
+		b.Log("set PSC_SCALE_TIERS=1 to run the multi-second scale tiers")
+		return
+	}
+	for _, name := range []string{"acc2048", "acc8192", "acc32768"} {
+		run(name, tierFn(b, name))
 	}
 }

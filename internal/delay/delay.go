@@ -61,23 +61,49 @@ type Pair struct {
 	A, B int
 }
 
-// Set is a computed delay set. Lookups go through the pair map; the
-// sorted views used by codegen (Pairs, Successors) are served from a
-// cached index built lazily and invalidated by Add.
+// Set is a computed delay set. Two storage modes share one interface:
+//
+//   - sparse: a pair map, the natural shape for hand-built and small sets;
+//   - dense: one bitset row per target b (bit a set iff [a, b] is a delay
+//     edge), the only shape that survives the Theta(n^2)-pair results of
+//     programs with tens of thousands of accesses, and the shape the
+//     regionized engine emits directly (it resolves all pairs of one
+//     target b together).
+//
+// The sorted views used by codegen (Pairs, Successors) are served from a
+// cached index built lazily — never on Add or Union, so chains of
+// per-region merges don't pay O(size log size) each — and invalidated by
+// mutation.
 type Set struct {
 	Fn     *ir.Fn
-	pairs  map[Pair]bool
-	sorted []Pair  // sorted cache; nil when stale
-	aOff   []int32 // sorted[aOff[a]:aOff[a+1]] are the pairs with A == a
+	pairs  map[Pair]bool    // sparse storage; nil in dense mode
+	byB    *graph.BitMatrix // dense storage; nil in sparse mode
+	size   int              // dense only; -1 when stale
+	sorted []Pair           // sorted cache; nil when stale
+	aOff   []int32          // sorted[aOff[a]:aOff[a+1]] are the pairs with A == a
 }
 
-// NewSet returns an empty delay set for fn.
+// NewSet returns an empty sparse delay set for fn.
 func NewSet(fn *ir.Fn) *Set {
 	return &Set{Fn: fn, pairs: make(map[Pair]bool)}
 }
 
+// NewDenseSet returns an empty dense delay set for fn.
+func NewDenseSet(fn *ir.Fn) *Set {
+	return &Set{Fn: fn, byB: graph.NewBitMatrix(len(fn.Accesses))}
+}
+
 // Add inserts a delay edge.
 func (s *Set) Add(a, b int) {
+	if s.byB != nil {
+		if !s.byB.Has(b, a) {
+			s.byB.Set(b, a)
+			s.size = -1
+			s.sorted = nil
+			s.aOff = nil
+		}
+		return
+	}
 	p := Pair{a, b}
 	if !s.pairs[p] {
 		s.pairs[p] = true
@@ -87,26 +113,78 @@ func (s *Set) Add(a, b int) {
 }
 
 // Has reports whether [a, b] is a delay edge.
-func (s *Set) Has(a, b int) bool { return s.pairs[Pair{a, b}] }
+func (s *Set) Has(a, b int) bool {
+	if s.byB != nil {
+		return s.byB.Has(b, a)
+	}
+	return s.pairs[Pair{a, b}]
+}
 
 // Size returns the number of delay edges.
-func (s *Set) Size() int { return len(s.pairs) }
+func (s *Set) Size() int {
+	if s.byB != nil {
+		if s.size < 0 {
+			s.size = s.byB.Count()
+		}
+		return s.size
+	}
+	return len(s.pairs)
+}
+
+// orTargetRow ORs a source-bitset row into target b's dense row: the
+// engines' bulk emission path. The receiver must be dense.
+func (s *Set) orTargetRow(b int, as []uint64) {
+	row := s.byB.Row(b)
+	for i, w := range as {
+		row[i] |= w
+	}
+	s.size = -1
+	s.sorted = nil
+	s.aOff = nil
+}
+
+// targetRow returns target b's dense row (bit a set iff [a, b] present).
+// The receiver must be dense; callers must not modify the row.
+func (s *Set) targetRow(b int) []uint64 { return s.byB.Row(b) }
 
 // index (re)builds the sorted cache and the per-A offset table.
 func (s *Set) index() {
-	if s.sorted != nil || len(s.pairs) == 0 {
+	if s.sorted != nil {
 		return
 	}
-	out := make([]Pair, 0, len(s.pairs))
-	for p := range s.pairs {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
+	var out []Pair
+	if s.byB != nil {
+		if s.Size() == 0 {
+			return
 		}
-		return out[i].B < out[j].B
-	})
+		out = make([]Pair, 0, s.Size())
+		// Transposing to A-major rows makes the decode emit pairs already
+		// in (A, B) order: no sort needed.
+		byA := s.byB.Transpose()
+		for a := 0; a < byA.N; a++ {
+			row := byA.Row(a)
+			for wi, w := range row {
+				for ; w != 0; w &= w - 1 {
+					b := wi<<6 + bits.TrailingZeros64(w)
+					out = append(out, Pair{a, b})
+				}
+			}
+		}
+	} else {
+		if len(s.pairs) == 0 {
+			return
+		}
+		out = make([]Pair, 0, len(s.pairs))
+		for p := range s.pairs {
+			out = append(out, p)
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].A != out[j].A {
+				return out[i].A < out[j].A
+			}
+			return out[i].B < out[j].B
+		})
+	}
 	s.sorted = out
 	n := len(s.Fn.Accesses)
 	s.aOff = make([]int32, n+1)
@@ -144,8 +222,26 @@ func (s *Set) Successors(a int) []int {
 	return out
 }
 
-// Union returns a new set containing the edges of both sets.
+// Union returns a new set containing the edges of both sets. The result is
+// dense when either input is dense (word-parallel row ORs); no sorted
+// index is built — it stays lazy until Pairs or Successors is asked for.
 func (s *Set) Union(o *Set) *Set {
+	if s.byB != nil || o.byB != nil {
+		u := NewDenseSet(s.Fn)
+		for _, in := range []*Set{s, o} {
+			if in.byB != nil {
+				for i, w := range in.byB.Words() {
+					u.byB.Words()[i] |= w
+				}
+			} else {
+				for p := range in.pairs {
+					u.byB.Set(p.B, p.A)
+				}
+			}
+		}
+		u.size = -1
+		return u
+	}
 	u := NewSet(s.Fn)
 	for p := range s.pairs {
 		u.pairs[p] = true
@@ -191,6 +287,106 @@ type Constraints struct {
 	// differential tests can prove the batched engine returns identical
 	// delay sets; production callers leave it false.
 	Reference bool
+
+	// Engine selects the polynomial search strategy. The zero value is the
+	// regionized engine; EngineWhole forces the whole-graph batched search
+	// (kept as a differential oracle and for the exact mode).
+	Engine Engine
+	// Endpoints, when non-nil, restricts the considered pairs structurally:
+	// with EndpointsInclude a pair (a, b) is considered only when a or b is
+	// listed, with EndpointsExclude only when neither is. It expresses the
+	// same restriction as a PairFilter over a membership set, but in a form
+	// the regionized engine can exploit (it flips per-target searches into
+	// per-source searches when the listed side is small). All engines honor
+	// it, so results stay comparable.
+	Endpoints []int
+	// EndpointsMode interprets Endpoints; the zero value is include.
+	EndpointsMode EndpointsMode
+	// DirRows, when non-nil, supplies the directed conflict adjacency as a
+	// bit matrix (bit (x, y) set iff the conflict edge x -> y is usable).
+	// It must agree with ConflictDir when both are set. The regionized
+	// engine consumes it word-parallel instead of calling ConflictDir per
+	// edge; the whole-graph and reference engines keep using ConflictDir,
+	// which preserves their independence as oracles.
+	DirRows *graph.BitMatrix
+	// RemovedCover, when non-nil alongside Removed, writes into scratch a
+	// bitset covering every access the Removed predicate would exclude for
+	// the pair (a, b) (extra bits are fine) and returns it. The regionized
+	// engine skips the per-pair restricted re-search when no covered access
+	// was reachable in the unrestricted search, which is what makes Removed
+	// constraints affordable at tens of thousands of accesses.
+	RemovedCover func(a, b int, scratch []uint64) []uint64
+	// RemovedExact declares that RemovedCover is not merely a cover but
+	// exactly the set Removed excludes for the pair (up to the endpoint
+	// exemptions, which the engine applies itself). The regionized engine
+	// then replaces the per-pair node-by-node restricted search with a
+	// word-parallel one that seeds the visited set with the cover — the
+	// denser the removal, the cheaper the search. Declaring exactness for
+	// a strict over-approximation yields wrong results.
+	RemovedExact bool
+	// Cache, when non-nil, memoizes per-region results of the regionized
+	// directed engine across Compute calls (see RegionCache). Ignored by
+	// the other engines, by the symmetric (hub) path, and whenever the
+	// constraints cannot be fingerprinted (an opaque PairFilter, or a
+	// Removed predicate without NodeSig).
+	Cache *RegionCache
+	// NodeSig, when set alongside Cache and Removed, folds into s the
+	// per-node constraint state behind Removed/RemovedCover: everything
+	// those callbacks may consult about node x for pairs whose endpoints
+	// and witnesses lie inside x's region. mask is the region's member
+	// bitset and lof maps member global ids to dense local ids;
+	// implementations must hash via local ids so that renumbering outside
+	// the region cannot disturb the fingerprint.
+	NodeSig func(x int, mask []uint64, lof []int32, s *Sig)
+}
+
+// Engine selects a polynomial back-path search strategy.
+type Engine int
+
+const (
+	// EngineRegion is the default: searches decomposed by the strongly
+	// connected components of the mixed graph (every delay pair and all of
+	// its witness walks live inside one SCC), with the symmetric
+	// unoriented case run on a hub-compressed conflict graph.
+	EngineRegion Engine = iota
+	// EngineWhole is the whole-graph batched engine.
+	EngineWhole
+)
+
+// EndpointsMode interprets Constraints.Endpoints.
+type EndpointsMode int
+
+const (
+	EndpointsInclude EndpointsMode = iota
+	EndpointsExclude
+)
+
+// flattened folds the structural hints into the portable Constraints
+// fields: Endpoints becomes a PairFilter conjunct and DirRows materializes
+// a ConflictDir when none was given. The whole-graph and reference engines
+// run on the flattened form.
+func (c Constraints) flattened(n int) Constraints {
+	if c.ConflictDir == nil && c.DirRows != nil {
+		dm := c.DirRows
+		c.ConflictDir = func(x, y int) bool { return dm.Has(x, y) }
+	}
+	if c.Endpoints != nil {
+		em := make([]uint64, graph.WordsFor(n))
+		for _, x := range c.Endpoints {
+			graph.BitSet(em, x)
+		}
+		include := c.EndpointsMode == EndpointsInclude
+		pf := c.PairFilter
+		c.PairFilter = func(a, b int) bool {
+			if pf != nil && !pf(a, b) {
+				return false
+			}
+			in := graph.BitGet(em, a) || graph.BitGet(em, b)
+			return in == include
+		}
+		c.Endpoints = nil
+	}
+	return c
 }
 
 // Workers bounds the fan-out of Compute's source and pair loops. Zero,
@@ -320,10 +516,24 @@ func newEngine(ag *ir.AccessGraph, cs *conflict.Set, cdir func(x, y int) bool) *
 // path b -> ... -> a whose first and last edges are conflict edges (they
 // may be the same single edge). Interior steps may use program-order edges
 // or conflict edges (in their allowed direction).
+//
+// Three engines compute the same set: the regionized engine (default; see
+// region.go), the whole-graph batched engine, and the pre-batching
+// reference engine. The latter two are retained as differential oracles.
 func Compute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints) *Set {
+	n := len(ag.Fn.Accesses)
 	if con.Reference {
-		return computeReference(ag, cs, con)
+		return computeReference(ag, cs, con.flattened(n))
 	}
+	if con.Engine == EngineWhole || con.Exact {
+		return computeWhole(ag, cs, con.flattened(n))
+	}
+	return computeRegion(ag, cs, con)
+}
+
+// computeWhole is the whole-graph batched engine: one unit of work per
+// pair target b over the full mixed graph.
+func computeWhole(ag *ir.AccessGraph, cs *conflict.Set, con Constraints) *Set {
 	fn := ag.Fn
 	out := NewSet(fn)
 	n := len(fn.Accesses)
@@ -339,10 +549,13 @@ func Compute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints) *Set {
 	total := 0
 	for a := 0; a < n; a++ {
 		row := ag.ReachRow(a)
-		for b, ok := range row {
-			if ok && (con.PairFilter == nil || con.PairFilter(a, b)) {
-				cnt[b+1]++
-				total++
+		for wi, w := range row {
+			for ; w != 0; w &= w - 1 {
+				b := wi<<6 + bits.TrailingZeros64(w)
+				if con.PairFilter == nil || con.PairFilter(a, b) {
+					cnt[b+1]++
+					total++
+				}
 			}
 		}
 	}
@@ -358,10 +571,13 @@ func Compute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints) *Set {
 	copy(pos, off[:n])
 	for a := 0; a < n; a++ {
 		row := ag.ReachRow(a)
-		for b, ok := range row {
-			if ok && (con.PairFilter == nil || con.PairFilter(a, b)) {
-				aOf[pos[b]] = int32(a)
-				pos[b]++
+		for wi, w := range row {
+			for ; w != 0; w &= w - 1 {
+				b := wi<<6 + bits.TrailingZeros64(w)
+				if con.PairFilter == nil || con.PairFilter(a, b) {
+					aOf[pos[b]] = int32(a)
+					pos[b]++
+				}
 			}
 		}
 	}

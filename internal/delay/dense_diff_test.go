@@ -1,0 +1,148 @@
+package delay
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/progen"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// denseFn seed-scans for a progen program with at least 512 accesses: the
+// size gate for the word-parallel restricted search (denseRestrict needs
+// n >= 512) and comfortably past the dense-region dispatch (nl >= 256 with
+// one word of edges per node). The small-seed differential suite never
+// crosses these thresholds, so the dense code paths would otherwise ship
+// untested — which is exactly how a seed-expansion bug once slipped
+// through to the 2k-access tier.
+func denseFn(tb testing.TB) *ir.Fn {
+	tb.Helper()
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 16, MaxStmts: 64, MaxDepth: 2,
+		Arrays: 4, Scalars: 4, Events: 3, Locks: 2,
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		prog, err := source.Parse(progen.Generate(seed, opts))
+		if err != nil {
+			continue
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			continue
+		}
+		fn, err := ir.Build(info, ir.BuildOptions{Procs: 4})
+		if err != nil {
+			continue
+		}
+		if n := len(fn.Accesses); n >= 512 && n <= 1024 {
+			return fn
+		}
+	}
+	tb.Fatal("no progen seed lands in [512, 1024] accesses")
+	return nil
+}
+
+// denseVariants are the directed-engine constraint variants whose code
+// paths only activate on large inputs. The removal predicate is shaped
+// like the production lock guards — rem(a,b,z) holds iff a, b, and z
+// share a mask bit — so the cover is exactly the removed set and the
+// per-node masks are expressible through NodeSig.
+func denseVariants(fn *ir.Fn, cs *conflict.Set) []struct {
+	name string
+	con  Constraints
+} {
+	n := len(fn.Accesses)
+	m := make([]uint64, n)
+	for x := 0; x < n; x++ {
+		m[x] = 1 << uint(x%5)
+	}
+	rem := func(a, b, z int) bool { return m[a]&m[b]&m[z] != 0 }
+	cover := func(a, b int, scratch []uint64) []uint64 {
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		ab := m[a] & m[b]
+		for z := 0; z < n; z++ {
+			if m[z]&ab != 0 {
+				graph.BitSet(scratch, z)
+			}
+		}
+		return scratch
+	}
+	nodeSig := func(x int, mask []uint64, lof []int32, s *Sig) {
+		s.Word(m[x])
+	}
+	cdir := func(x, y int) bool { return (x+y)%3 != 0 || x <= y }
+	dirRows := graph.NewBitMatrix(n)
+	for x := 0; x < n; x++ {
+		for _, y := range cs.Partners(x) {
+			if cdir(x, y) {
+				dirRows.Set(x, y)
+			}
+		}
+	}
+	return []struct {
+		name string
+		con  Constraints
+	}{
+		{"dirrows", Constraints{DirRows: dirRows}},
+		{"dirrows+removed+cover", Constraints{
+			DirRows: dirRows, Removed: rem, RemovedCover: cover}},
+		{"dirrows+removed+exact", Constraints{
+			DirRows: dirRows, Removed: rem, RemovedCover: cover,
+			RemovedExact: true, NodeSig: nodeSig}},
+	}
+}
+
+// TestDenseRegionMatchesWhole is the large-input differential: the
+// regionized engine with its dense-region dispatch and word-parallel
+// restricted pair search must stay pair-identical to the whole-graph
+// batched engine past the n >= 512 activation thresholds.
+func TestDenseRegionMatchesWhole(t *testing.T) {
+	fn := denseFn(t)
+	ag := ir.BuildAccessGraph(fn)
+	cs := conflict.Compute(fn)
+	for _, v := range denseVariants(fn, cs) {
+		got := Compute(ag, cs, v.con)
+		whole := v.con
+		whole.Engine = EngineWhole
+		want := Compute(ag, cs, whole)
+		pairsEqual(t, fmt.Sprintf("dense %s (n=%d)", v.name, len(fn.Accesses)), got, want)
+	}
+}
+
+// TestRegionCacheColdWarm proves the region memo cache is invisible to
+// results: a cold run populating the cache and a warm run replaying it
+// produce pair-identical sets, the warm run actually hits, and both match
+// the whole-graph oracle.
+func TestRegionCacheColdWarm(t *testing.T) {
+	fn := denseFn(t)
+	ag := ir.BuildAccessGraph(fn)
+	cs := conflict.Compute(fn)
+	for _, v := range denseVariants(fn, cs) {
+		cache := NewRegionCache(0)
+		con := v.con
+		con.Cache = cache
+		cold := Compute(ag, cs, con)
+		misses := cache.Misses
+		usable := cacheUsable(con)
+		if usable && misses == 0 {
+			t.Fatalf("%s: cold run recorded no cache misses; memoization never engaged", v.name)
+		}
+		warm := Compute(ag, cs, con)
+		if usable && cache.Hits < misses {
+			t.Fatalf("%s: warm run hit %d of %d memoized regions", v.name, cache.Hits, misses)
+		}
+		if !usable && cache.Hits+cache.Misses > 0 {
+			t.Fatalf("%s: unfingerprintable constraints still touched the cache", v.name)
+		}
+		pairsEqual(t, v.name+" warm-vs-cold", warm, cold)
+		whole := v.con
+		whole.Engine = EngineWhole
+		pairsEqual(t, v.name+" cold-vs-whole", cold, Compute(ag, cs, whole))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/conflict"
+	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/progen"
 	"repro/internal/sem"
@@ -34,27 +35,59 @@ func genFn(seed int64) *ir.Fn {
 }
 
 // diffVariants returns the constraint variants the differential tests
-// exercise, spanning every engine mode: batched (no hooks), batched with
-// orientation (ConflictDir), pair-filtered, per-pair (Removed), the
-// combination, and the exact search. Hooks are synthetic but deterministic.
-func diffVariants(fn *ir.Fn) []struct {
+// exercise, spanning every engine mode: plain, oriented (ConflictDir and
+// its DirRows bit-matrix form), pair-filtered, endpoint-restricted in both
+// modes (the sparse include list drives the reverse-sweep flip), per-pair
+// (Removed, with and without a RemovedCover screen), combinations, and the
+// exact search. Hooks are synthetic but deterministic.
+func diffVariants(fn *ir.Fn, cs *conflict.Set) []struct {
 	name string
 	con  Constraints
 } {
+	n := len(fn.Accesses)
 	isSync := func(a, b int) bool {
 		return fn.Accesses[a].Kind.IsSync() || fn.Accesses[b].Kind.IsSync()
 	}
 	cdir := func(x, y int) bool { return (x+y)%3 != 0 || x <= y }
 	rem := func(a, b, z int) bool { return (a+2*b+3*z)%5 == 0 }
+	cover := func(a, b int, scratch []uint64) []uint64 {
+		for i := range scratch {
+			scratch[i] = 0
+		}
+		for z := 0; z < n; z++ {
+			if rem(a, b, z) {
+				graph.BitSet(scratch, z)
+			}
+		}
+		return scratch
+	}
+	var sparse []int
+	for i := 0; i < n; i += 7 {
+		sparse = append(sparse, i)
+	}
+	dirRows := graph.NewBitMatrix(n)
+	for x := 0; x < n; x++ {
+		for _, y := range cs.Partners(x) {
+			if cdir(x, y) {
+				dirRows.Set(x, y)
+			}
+		}
+	}
 	return []struct {
 		name string
 		con  Constraints
 	}{
 		{"plain", Constraints{}},
 		{"dir", Constraints{ConflictDir: cdir}},
+		{"dirrows", Constraints{DirRows: dirRows}},
 		{"filter", Constraints{PairFilter: isSync}},
+		{"endpoints-inc", Constraints{Endpoints: sparse}},
+		{"endpoints-exc", Constraints{Endpoints: sparse, EndpointsMode: EndpointsExclude}},
+		{"endpoints-inc+dir", Constraints{Endpoints: sparse, ConflictDir: cdir}},
 		{"removed", Constraints{Removed: rem}},
+		{"removed+cover", Constraints{Removed: rem, RemovedCover: cover}},
 		{"dir+removed+filter", Constraints{ConflictDir: cdir, Removed: rem, PairFilter: isSync}},
+		{"dirrows+removed+cover+inc", Constraints{DirRows: dirRows, Removed: rem, RemovedCover: cover, Endpoints: sparse}},
 		{"exact", Constraints{Exact: true, MaxExactNodes: 1 << 20}},
 	}
 }
@@ -72,9 +105,10 @@ func pairsEqual(t *testing.T, label string, got, want *Set) {
 	}
 }
 
-// TestBatchedMatchesReference proves the batched bitset engine computes
-// delay sets pair-identical to the per-pair reference search, across progen
-// seeds and every constraint variant.
+// TestBatchedMatchesReference proves the regionized engine (the default)
+// and the whole-graph batched engine both compute delay sets
+// pair-identical to the per-pair reference search, across progen seeds and
+// every constraint variant.
 func TestBatchedMatchesReference(t *testing.T) {
 	checked := 0
 	for seed := int64(0); seed < 80; seed++ {
@@ -84,16 +118,20 @@ func TestBatchedMatchesReference(t *testing.T) {
 		}
 		ag := ir.BuildAccessGraph(fn)
 		cs := conflict.Compute(fn)
-		for _, v := range diffVariants(fn) {
+		for _, v := range diffVariants(fn, cs) {
 			if v.con.Exact && len(fn.Accesses) > 18 {
 				continue // the simple-path search is exponential on dense
 				// progen conflict graphs; keep it affordable
 			}
+			label := fmt.Sprintf("seed %d %s (n=%d)", seed, v.name, len(fn.Accesses))
 			got := Compute(ag, cs, v.con)
 			ref := v.con
 			ref.Reference = true
 			want := Compute(ag, cs, ref)
-			pairsEqual(t, fmt.Sprintf("seed %d %s (n=%d)", seed, v.name, len(fn.Accesses)), got, want)
+			pairsEqual(t, label, got, want)
+			whole := v.con
+			whole.Engine = EngineWhole
+			pairsEqual(t, label+" [whole]", Compute(ag, cs, whole), want)
 		}
 		checked++
 	}
@@ -113,14 +151,16 @@ func TestComputeDeterministicAcrossWorkers(t *testing.T) {
 	}
 	ag := ir.BuildAccessGraph(fn)
 	cs := conflict.Compute(fn)
-	for _, v := range diffVariants(fn) {
+	for _, v := range diffVariants(fn, cs) {
 		Workers = 1
 		seq := Compute(ag, cs, v.con)
-		Workers = 8
-		par := Compute(ag, cs, v.con)
-		pairsEqual(t, v.name, par, seq)
-		if fmt.Sprint(par.Pairs()) != fmt.Sprint(seq.Pairs()) {
-			t.Fatalf("%s: pair ordering differs across worker counts", v.name)
+		for _, nw := range []int{2, 8} {
+			Workers = nw
+			par := Compute(ag, cs, v.con)
+			pairsEqual(t, fmt.Sprintf("%s workers=%d", v.name, nw), par, seq)
+			if fmt.Sprint(par.Pairs()) != fmt.Sprint(seq.Pairs()) {
+				t.Fatalf("%s: pair ordering differs at %d workers", v.name, nw)
+			}
 		}
 	}
 }

@@ -7,12 +7,13 @@ import (
 	"repro/internal/ir"
 )
 
-// FuzzBackPathEquivalence fuzzes the batched engine against the per-pair
-// reference search: any seed/mode combination that produces a buildable
-// program must yield pair-identical delay sets.
+// FuzzBackPathEquivalence fuzzes the regionized engine (the default) and
+// the whole-graph batched engine against the per-pair reference search:
+// any seed/mode combination that produces a buildable program must yield
+// pair-identical delay sets from all three.
 func FuzzBackPathEquivalence(f *testing.F) {
 	for seed := int64(0); seed < 8; seed++ {
-		for mode := uint8(0); mode < 8; mode++ {
+		for mode := uint8(0); mode < 32; mode += 3 {
 			f.Add(seed, mode)
 		}
 	}
@@ -21,6 +22,7 @@ func FuzzBackPathEquivalence(f *testing.F) {
 		if fn == nil || len(fn.Accesses) == 0 {
 			t.Skip("seed does not build")
 		}
+		n := len(fn.Accesses)
 		con := Constraints{}
 		if mode&1 != 0 {
 			con.ConflictDir = func(x, y int) bool { return (x+y)%3 != 0 || x <= y }
@@ -33,19 +35,35 @@ func FuzzBackPathEquivalence(f *testing.F) {
 				return fn.Accesses[a].Kind.IsSync() || fn.Accesses[b].Kind.IsSync()
 			}
 		}
+		if mode&8 != 0 {
+			for i := 0; i < n; i += 7 {
+				con.Endpoints = append(con.Endpoints, i)
+			}
+			if con.Endpoints == nil {
+				con.Endpoints = []int{}
+			}
+			if mode&16 != 0 {
+				con.EndpointsMode = EndpointsExclude
+			}
+		}
 		ag := ir.BuildAccessGraph(fn)
 		cs := conflict.Compute(fn)
-		got := Compute(ag, cs, con)
 		ref := con
 		ref.Reference = true
 		want := Compute(ag, cs, ref)
-		if got.Size() != want.Size() {
-			t.Fatalf("mode %d: got %d pairs, reference %d\ngot:\n%swant:\n%s",
-				mode, got.Size(), want.Size(), got, want)
-		}
-		for _, p := range want.Pairs() {
-			if !got.Has(p.A, p.B) {
-				t.Fatalf("mode %d: reference pair [%d,%d] missing", mode, p.A, p.B)
+		for _, eng := range []struct {
+			name string
+			con  Constraints
+		}{{"region", con}, {"whole", func() Constraints { c := con; c.Engine = EngineWhole; return c }()}} {
+			got := Compute(ag, cs, eng.con)
+			if got.Size() != want.Size() {
+				t.Fatalf("mode %d %s: got %d pairs, reference %d\ngot:\n%swant:\n%s",
+					mode, eng.name, got.Size(), want.Size(), got, want)
+			}
+			for _, p := range want.Pairs() {
+				if !got.Has(p.A, p.B) {
+					t.Fatalf("mode %d %s: reference pair [%d,%d] missing", mode, eng.name, p.A, p.B)
+				}
 			}
 		}
 	})

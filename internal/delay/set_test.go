@@ -1,0 +1,116 @@
+package delay
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// fakeFn builds a minimal Fn with n access slots, enough for Set's
+// indexing (which only needs len(Fn.Accesses)).
+func fakeFn(n int) *ir.Fn {
+	fn := &ir.Fn{}
+	for i := 0; i < n; i++ {
+		fn.Accesses = append(fn.Accesses, &ir.Access{ID: i})
+	}
+	return fn
+}
+
+// TestSetUnionLazyIndex drives chains of unions across sparse and dense
+// sets, interleaved with queries, and checks Pairs/Successors/Has/Size
+// against a reference map after every step. Union must not eagerly build
+// the sorted index (laziness is asserted structurally: the cache pointer
+// stays nil until a sorted view is requested).
+func TestSetUnionLazyIndex(t *testing.T) {
+	const n = 90
+	fn := fakeFn(n)
+	rng := rand.New(rand.NewSource(7))
+	ref := make(map[Pair]bool)
+
+	mk := func(dense bool, k int) *Set {
+		s := NewSet(fn)
+		if dense {
+			s = NewDenseSet(fn)
+		}
+		for i := 0; i < k; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			s.Add(a, b)
+			ref[Pair{a, b}] = true
+		}
+		return s
+	}
+
+	acc := mk(false, 30)
+	for step := 0; step < 12; step++ {
+		next := mk(step%2 == 0, 25)
+		acc = acc.Union(next)
+		if acc.sorted != nil {
+			t.Fatalf("step %d: Union built the sorted index eagerly", step)
+		}
+		if acc.Size() != len(ref) {
+			t.Fatalf("step %d: Size %d, want %d", step, acc.Size(), len(ref))
+		}
+		// Query mid-chain every few steps so stale-cache invalidation after
+		// further unions is exercised, not just the final state.
+		if step%3 != 2 {
+			continue
+		}
+		checkAgainstRef(t, acc, ref, n)
+	}
+	checkAgainstRef(t, acc, ref, n)
+
+	// Adding after an index was built must invalidate it, in both modes.
+	for _, dense := range []bool{false, true} {
+		s := NewSet(fn)
+		if dense {
+			s = NewDenseSet(fn)
+		}
+		s.Add(3, 5)
+		_ = s.Pairs()
+		s.Add(1, 2)
+		p := s.Pairs()
+		if len(p) != 2 || p[0] != (Pair{1, 2}) || p[1] != (Pair{3, 5}) {
+			t.Fatalf("dense=%v: stale index after Add: %v", dense, p)
+		}
+	}
+}
+
+func checkAgainstRef(t *testing.T, s *Set, ref map[Pair]bool, n int) {
+	t.Helper()
+	pairs := s.Pairs()
+	if len(pairs) != len(ref) {
+		t.Fatalf("Pairs has %d entries, want %d", len(pairs), len(ref))
+	}
+	for i, p := range pairs {
+		if !ref[p] {
+			t.Fatalf("Pairs contains %v not in reference", p)
+		}
+		if i > 0 {
+			q := pairs[i-1]
+			if q.A > p.A || (q.A == p.A && q.B >= p.B) {
+				t.Fatalf("Pairs not strictly sorted at %d: %v, %v", i, q, p)
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		var want []int
+		for b := 0; b < n; b++ {
+			if ref[Pair{a, b}] {
+				want = append(want, b)
+			}
+			if s.Has(a, b) != ref[Pair{a, b}] {
+				t.Fatalf("Has(%d,%d) = %v, want %v", a, b, s.Has(a, b), ref[Pair{a, b}])
+			}
+		}
+		got := s.Successors(a)
+		if len(got) != len(want) {
+			t.Fatalf("Successors(%d) has %d entries, want %d", a, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Successors(%d)[%d] = %d, want %d", a, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -22,6 +22,10 @@ func NewBitMatrix(n int) *BitMatrix {
 // Row returns row i as a shared word slice; callers must not grow it.
 func (m *BitMatrix) Row(i int) []uint64 { return m.b[i*m.W : (i+1)*m.W] }
 
+// Words returns the whole backing word slice (rows concatenated), for
+// word-parallel whole-matrix operations like unions.
+func (m *BitMatrix) Words() []uint64 { return m.b }
+
 // Set sets bit (i, j).
 func (m *BitMatrix) Set(i, j int) { m.b[i*m.W+j>>6] |= 1 << (uint(j) & 63) }
 

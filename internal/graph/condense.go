@@ -1,0 +1,221 @@
+package graph
+
+// Condensation is the SCC quotient of a directed graph: Comp maps each node
+// to its component, components are numbered in reverse topological order
+// (every edge of the condensation DAG goes from a higher component index to
+// a lower one, matching Tarjan's emission order), Members lists each
+// component's nodes in ascending node order, and Adj is the deduplicated
+// condensation DAG adjacency.
+//
+// The regionized delay-set engine leans on one structural fact: a back-path
+// for the program-order pair (a, b) is a closed mixed-graph walk through a
+// and b, so both endpoints and every node of the walk lie in a single
+// strongly connected component. Condensing the mixed graph therefore
+// partitions the analysis exactly — cross-component pairs have no back-path,
+// and same-component searches never need to leave the component.
+type Condensation struct {
+	Comp    []int32
+	NComp   int
+	Members [][]int32
+	Adj     [][]int32
+}
+
+// Condense computes the SCC condensation of the graph whose out-edges are
+// produced by out(u, visit). The iterator form lets callers condense graphs
+// that exist only as bitset rows or CSR slices without materializing an
+// adjacency list.
+func Condense(n int, out func(u int, visit func(v int32))) *Condensation {
+	c := &Condensation{Comp: make([]int32, n)}
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		c.Comp[i] = unvisited
+	}
+	// Iterative Tarjan. Out-edges of the frame's node are materialized once
+	// into a shared arena when the frame is pushed, so the iterator is
+	// invoked exactly once per node.
+	var stack []int32
+	arena := make([]int32, 0, n)
+	type frame struct {
+		v        int32
+		ei, eend int32
+	}
+	var frames []frame
+	next := int32(0)
+	push := func(v int32) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		start := int32(len(arena))
+		out(int(v), func(w int32) { arena = append(arena, w) })
+		frames = append(frames, frame{v: v, ei: start, eend: int32(len(arena))})
+	}
+	for s := 0; s < n; s++ {
+		if index[s] != unvisited {
+			continue
+		}
+		push(int32(s))
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < f.eend {
+				w := arena[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					push(w)
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					c.Comp[w] = int32(c.NComp)
+					if w == v {
+						break
+					}
+				}
+				c.NComp++
+			}
+		}
+	}
+	c.Members = make([][]int32, c.NComp)
+	counts := make([]int32, c.NComp)
+	for _, cc := range c.Comp {
+		counts[cc]++
+	}
+	for i, cnt := range counts {
+		c.Members[i] = make([]int32, 0, cnt)
+	}
+	for v := 0; v < n; v++ {
+		cc := c.Comp[v]
+		c.Members[cc] = append(c.Members[cc], int32(v))
+	}
+	// Condensation DAG, deduplicated with an epoch-stamped mark.
+	c.Adj = make([][]int32, c.NComp)
+	mark := make([]int32, c.NComp)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for u := 0; u < n; u++ {
+		cu := c.Comp[u]
+		out(u, func(w int32) {
+			cw := c.Comp[w]
+			if cw != cu && mark[cw] != cu {
+				mark[cw] = cu
+				c.Adj[cu] = append(c.Adj[cu], cw)
+			}
+		})
+	}
+	return c
+}
+
+// ReachRows computes the length->=1 reachability relation of the condensed
+// graph as one bitset row per node: row(u) bit v set iff some path of at
+// least one edge leads u to v. All members of one component share row
+// content, and the condensation DAG is processed in topological order
+// (ascending component index = reverse Tarjan order visits successors
+// first), so the whole closure costs O(E_dag * n/64) word operations plus
+// one row copy per node — not the O(n*E) of per-source BFS.
+func (c *Condensation) ReachRows(n int, out func(u int, visit func(v int32))) *BitMatrix {
+	w := WordsFor(n)
+	compRow := make([][]uint64, c.NComp)
+	// Ascending component index: successors of a component always carry a
+	// smaller index, so their rows are complete when the component is
+	// processed.
+	for cc := 0; cc < c.NComp; cc++ {
+		row := make([]uint64, w)
+		cyclic := len(c.Members[cc]) > 1
+		if !cyclic {
+			// Single-node component: cyclic only via a self-edge.
+			v := c.Members[cc][0]
+			out(int(v), func(dst int32) {
+				if dst == v {
+					cyclic = true
+				}
+			})
+		}
+		if cyclic {
+			for _, v := range c.Members[cc] {
+				BitSet(row, int(v))
+			}
+		}
+		for _, sc := range c.Adj[cc] {
+			for _, v := range c.Members[sc] {
+				BitSet(row, int(v))
+			}
+			sr := compRow[sc]
+			for i := range row {
+				row[i] |= sr[i]
+			}
+		}
+		compRow[cc] = row
+	}
+	m := NewBitMatrix(n)
+	for v := 0; v < n; v++ {
+		copy(m.Row(v), compRow[c.Comp[v]])
+	}
+	return m
+}
+
+// Transpose returns the transposed matrix, built with a 64x64 block
+// transpose: each word-aligned block is flipped with the classical
+// masked-swap network, so the cost is O(n^2/64 * log 64) word operations
+// instead of n^2 single-bit probes.
+func (m *BitMatrix) Transpose() *BitMatrix {
+	t := NewBitMatrix(m.N)
+	var blk [64]uint64
+	for bi := 0; bi < m.N; bi += 64 {
+		rows := m.N - bi
+		if rows > 64 {
+			rows = 64
+		}
+		for bj := 0; bj < m.N; bj += 64 {
+			for r := 0; r < rows; r++ {
+				blk[r] = m.b[(bi+r)*m.W+bj>>6]
+			}
+			for r := rows; r < 64; r++ {
+				blk[r] = 0
+			}
+			transpose64(&blk)
+			cols := m.N - bj
+			if cols > 64 {
+				cols = 64
+			}
+			for c := 0; c < cols; c++ {
+				t.b[(bj+c)*t.W+bi>>6] = blk[c]
+			}
+		}
+	}
+	return t
+}
+
+// transpose64 transposes a 64x64 bit block in place (Hacker's Delight
+// masked-swap network: exchange sub-blocks of width 32, 16, ..., 1).
+func transpose64(a *[64]uint64) {
+	mask := uint64(0x00000000FFFFFFFF)
+	for shift := 32; shift > 0; shift >>= 1 {
+		for i := 0; i < 64; i = (i + shift + 1) &^ shift {
+			x := (a[i] >> uint(shift)) ^ a[i+shift]
+			x &= mask
+			a[i] ^= x << uint(shift)
+			a[i+shift] ^= x
+		}
+		mask ^= mask << uint(shift>>1)
+	}
+}

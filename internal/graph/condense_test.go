@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomDigraph(rng *rand.Rand, n int, p float64) *Digraph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func digraphIter(g *Digraph) func(u int, visit func(v int32)) {
+	return func(u int, visit func(v int32)) {
+		for _, v := range g.Adj[u] {
+			visit(int32(v))
+		}
+	}
+}
+
+// TestCondenseMatchesSCC checks Condense against the list-based Tarjan and
+// verifies the structural invariants of the condensation: component
+// agreement (up to renaming both emit reverse topological indices, so they
+// must match exactly), member partitioning, and DAG edges pointing from
+// higher to lower component indices.
+func TestCondenseMatchesSCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomDigraph(rng, n, []float64{0.02, 0.05, 0.1, 0.3}[rng.Intn(4)])
+		c := Condense(n, digraphIter(g))
+		comp, ncomp := g.SCC()
+		if c.NComp != ncomp {
+			t.Fatalf("trial %d: NComp %d, SCC says %d", trial, c.NComp, ncomp)
+		}
+		for v := 0; v < n; v++ {
+			if int(c.Comp[v]) != comp[v] {
+				t.Fatalf("trial %d: node %d in comp %d, SCC says %d", trial, v, c.Comp[v], comp[v])
+			}
+		}
+		seen := 0
+		for cc, ms := range c.Members {
+			for i, v := range ms {
+				if i > 0 && ms[i-1] >= v {
+					t.Fatalf("trial %d: comp %d members not ascending: %v", trial, cc, ms)
+				}
+				if int(c.Comp[v]) != cc {
+					t.Fatalf("trial %d: member %d of comp %d has Comp %d", trial, v, cc, c.Comp[v])
+				}
+				seen++
+			}
+		}
+		if seen != n {
+			t.Fatalf("trial %d: members cover %d of %d nodes", trial, seen, n)
+		}
+		for cu, succs := range c.Adj {
+			for _, cv := range succs {
+				if int(cv) >= cu {
+					t.Fatalf("trial %d: DAG edge %d -> %d not descending", trial, cu, cv)
+				}
+			}
+		}
+	}
+}
+
+// TestReachRowsMatchesTransitiveClosure checks the condensation-DP closure
+// against the per-source BFS closure, including the length >= 1 convention
+// (a node reaches itself only through a cycle or self-edge).
+func TestReachRowsMatchesTransitiveClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		g := randomDigraph(rng, n, []float64{0.02, 0.05, 0.1, 0.3}[rng.Intn(4)])
+		c := Condense(n, digraphIter(g))
+		got := c.ReachRows(n, digraphIter(g))
+		for u := 0; u < n; u++ {
+			want := make([]bool, n)
+			for _, v := range g.Adj[u] {
+				if !want[v] {
+					want[v] = true
+				}
+			}
+			stack := []int{}
+			for v, ok := range want {
+				if ok {
+					stack = append(stack, v)
+				}
+			}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, v := range g.Adj[x] {
+					if !want[v] {
+						want[v] = true
+						stack = append(stack, v)
+					}
+				}
+			}
+			for v := 0; v < n; v++ {
+				if got.Has(u, v) != want[v] {
+					t.Fatalf("trial %d: reach(%d, %d) = %v, want %v", trial, u, v, got.Has(u, v), want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestTranspose checks the 64x64 block transpose against per-bit flipping
+// at sizes around the word boundaries.
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 7, 63, 64, 65, 100, 127, 128, 130, 200} {
+		m := NewBitMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) == 0 {
+					m.Set(i, j)
+				}
+			}
+		}
+		tr := m.Transpose()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if tr.Has(j, i) != m.Has(i, j) {
+					t.Fatalf("n=%d: transpose(%d,%d) mismatch", n, j, i)
+				}
+			}
+		}
+	}
+}

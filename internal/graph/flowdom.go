@@ -22,6 +22,12 @@ type FlowDom struct {
 	order   []int32  // visited nodes in BFS discovery order
 	visited []uint64 // bitset of visited nodes
 	seeds   []int32  // deduplicated seeds of the current source
+	parent  []int32  // BFS-tree parent of each visited node (root for seeds)
+
+	// First-visit-tree state, built lazily by TreeAncestor.
+	treeReady    bool
+	ttin, ttout  []int32
+	tHead, tNext []int32
 
 	// Dominator state, built lazily by Doms for the current source.
 	domsReady            bool
@@ -39,7 +45,10 @@ func NewFlowDom(csr *CSR) *FlowDom {
 		csr: csr, n: n,
 		mark:    make([]int32, n),
 		visited: make([]uint64, WordsFor(n)),
-		idom:    make([]int32, n+1), bnum: make([]int32, n+1),
+		parent:  make([]int32, n),
+		ttin:    make([]int32, n+1), ttout: make([]int32, n+1),
+		tHead: make([]int32, n+1), tNext: make([]int32, n+1),
+		idom: make([]int32, n+1), bnum: make([]int32, n+1),
 		tin: make([]int32, n+1), tout: make([]int32, n+1),
 		childHead: make([]int32, n+1), childNext: make([]int32, n+1),
 	}
@@ -53,15 +62,18 @@ func (f *FlowDom) Reach(seeds []int32, cut int) {
 	f.order = f.order[:0]
 	f.seeds = f.seeds[:0]
 	f.domsReady = false
+	f.treeReady = false
 	for i := range f.visited {
 		f.visited[i] = 0
 	}
+	root := int32(f.n)
 	for _, s := range seeds {
 		if f.mark[s] == f.epoch {
 			continue
 		}
 		f.mark[s] = f.epoch
 		BitSet(f.visited, int(s))
+		f.parent[s] = root
 		f.order = append(f.order, s)
 		f.seeds = append(f.seeds, s)
 	}
@@ -73,7 +85,58 @@ func (f *FlowDom) Reach(seeds []int32, cut int) {
 			}
 			f.mark[v] = f.epoch
 			BitSet(f.visited, int(v))
+			f.parent[v] = u
 			f.order = append(f.order, v)
+		}
+	}
+}
+
+// Order returns the visited nodes of the current source in BFS discovery
+// order, as a shared slice valid until the next Reach.
+func (f *FlowDom) Order() []int32 { return f.order }
+
+// TreeAncestor reports whether a is an ancestor of y in the BFS
+// first-visit tree of the current source (a == y reports true). Both must
+// be visited. A false answer proves y's first-visit path avoids a — an
+// exact positive witness that is much cheaper than the dominator tree; a
+// true answer is inconclusive (some other path may still avoid a), so
+// callers fall back to DomAncestor.
+func (f *FlowDom) TreeAncestor(a, y int) bool {
+	if !f.treeReady {
+		f.buildTree()
+	}
+	return f.ttin[a] <= f.ttin[y] && f.ttout[y] <= f.ttout[a]
+}
+
+// buildTree numbers the BFS first-visit tree with entry/exit intervals.
+func (f *FlowDom) buildTree() {
+	f.treeReady = true
+	root := int32(f.n)
+	f.tHead[root] = -1
+	for _, v := range f.order {
+		f.tHead[v] = -1
+	}
+	for i := len(f.order) - 1; i >= 0; i-- {
+		v := f.order[i]
+		p := f.parent[v]
+		f.tNext[v] = f.tHead[p]
+		f.tHead[p] = v
+	}
+	t := int32(0)
+	f.stack = append(f.stack[:0], root)
+	for len(f.stack) > 0 {
+		v := f.stack[len(f.stack)-1]
+		f.stack = f.stack[:len(f.stack)-1]
+		if v < 0 {
+			f.ttout[-(v + 1)] = t
+			t++
+			continue
+		}
+		f.ttin[v] = t
+		t++
+		f.stack = append(f.stack, -(v + 1))
+		for c := f.tHead[v]; c != -1; c = f.tNext[c] {
+			f.stack = append(f.stack, c)
 		}
 	}
 }

@@ -1,16 +1,26 @@
 package ir
 
-import "repro/internal/graph"
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
 
 // AccessGraph is the per-processor program-order graph over shared accesses:
 // node i is Fn.Accesses[i], and an edge a -> b means b can be the next
 // shared access executed after a on the same processor. Its transitive
 // closure is the program order P restricted to accesses, which is what the
 // cycle-detection analyses traverse.
+//
+// The closure is stored as bitset rows (n^2/64 words) and computed by a
+// DP over the SCC condensation — one row union per condensation edge plus
+// one copy per node — so building it stays far below the per-source-BFS
+// O(n*E) that dominated at tens of thousands of accesses.
 type AccessGraph struct {
 	Fn    *Fn
 	G     *graph.Digraph
-	reach [][]bool // reach[a][b]: path of length >= 1 from a to b
+	reach *graph.BitMatrix // reach.Has(a, b): path of length >= 1 from a to b
+	pred  *graph.BitMatrix // transpose of reach, built lazily by PredRow
 }
 
 // BuildAccessGraph computes the access-successor graph of fn.
@@ -90,49 +100,46 @@ func BuildAccessGraph(fn *Fn) *AccessGraph {
 		}
 	}
 	ag := &AccessGraph{Fn: fn, G: g}
-	ag.reach = make([][]bool, n)
-	for i := 0; i < n; i++ {
-		// Paths of length >= 1: start from successors.
-		seen := make([]bool, n)
-		var stack []int
-		for _, v := range g.Adj[i] {
-			if !seen[v] {
-				seen[v] = true
-				stack = append(stack, v)
-			}
+	iter := func(u int, visit func(v int32)) {
+		for _, v := range g.Adj[u] {
+			visit(int32(v))
 		}
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, v := range g.Adj[u] {
-				if !seen[v] {
-					seen[v] = true
-					stack = append(stack, v)
-				}
-			}
-		}
-		ag.reach[i] = seen
 	}
+	ag.reach = graph.Condense(n, iter).ReachRows(n, iter)
 	return ag
 }
 
 // Reaches reports whether access b can execute after access a on the same
 // processor in some execution (a path of length >= 1 in program order).
-func (ag *AccessGraph) Reaches(a, b int) bool { return ag.reach[a][b] }
+func (ag *AccessGraph) Reaches(a, b int) bool { return ag.reach.Has(a, b) }
 
-// ReachRow returns the reachability row of a (ReachRow(a)[b] == Reaches(a, b))
-// as a shared slice; callers must not modify it. Iterating rows directly
-// avoids materializing the pair list that OrderedPairs allocates.
-func (ag *AccessGraph) ReachRow(a int) []bool { return ag.reach[a] }
+// ReachRow returns the reachability row of a as a shared bitset of
+// graph.WordsFor(n) words (bit b set iff Reaches(a, b)); callers must not
+// modify it. Iterating rows word-parallel avoids materializing the pair
+// list that OrderedPairs allocates.
+func (ag *AccessGraph) ReachRow(a int) []uint64 { return ag.reach.Row(a) }
+
+// PredRow returns the program-order predecessor row of b as a shared
+// bitset (bit a set iff Reaches(a, b)). The transposed matrix is built on
+// first use; like the graph itself it must not be modified by callers.
+func (ag *AccessGraph) PredRow(b int) []uint64 {
+	if ag.pred == nil {
+		ag.pred = ag.reach.Transpose()
+	}
+	return ag.pred.Row(b)
+}
 
 // OrderedPairs returns all pairs (a, b) with a ≺ b in program order
 // (b reachable from a by a path of length >= 1). In loops both (a, b) and
 // (b, a) may appear, and (a, a) appears when a can re-execute.
 func (ag *AccessGraph) OrderedPairs() [][2]int {
 	var out [][2]int
-	for a := range ag.reach {
-		for b, ok := range ag.reach[a] {
-			if ok {
+	n := ag.reach.N
+	for a := 0; a < n; a++ {
+		row := ag.reach.Row(a)
+		for wi, w := range row {
+			for ; w != 0; w &= w - 1 {
+				b := wi<<6 + bits.TrailingZeros64(w)
 				out = append(out, [2]int{a, b})
 			}
 		}

@@ -12,6 +12,8 @@ type DomTree struct {
 	idom []int // idom[b] = immediate dominator block ID; entry maps to itself
 	rpo  []int // reverse postorder of reachable blocks
 	rpoN []int // rpo number per block; -1 if unreachable
+	tin  []int // dominator-tree DFS entry time, for O(1) ancestor queries
+	tout []int // dominator-tree DFS exit time
 }
 
 // BuildDom computes the dominator tree of fn.
@@ -70,7 +72,51 @@ func BuildDom(fn *Fn) *DomTree {
 			}
 		}
 	}
+	d.tin, d.tout = domIntervals(entry, d.idom, d.rpoN)
 	return d
+}
+
+// domIntervals DFS-numbers the tree given by parent pointers (parent[root]
+// == root; nodes with reach[v] == -1 are skipped), so that ancestor tests
+// become one interval comparison. Dominator chains in straight-line CFGs
+// are as deep as the program, which made the chain-walking Dominates
+// quadratic across the precedence derivation's pair loop.
+func domIntervals(root int, parent, reach []int) (tin, tout []int) {
+	n := len(parent)
+	tin = make([]int, n)
+	tout = make([]int, n)
+	head := make([]int, n)
+	next := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	// Build child lists in reverse so DFS visits low IDs first
+	// (determinism only; any order yields valid intervals).
+	for v := n - 1; v >= 0; v-- {
+		if v == root || reach[v] == -1 || parent[v] == -1 {
+			continue
+		}
+		next[v] = head[parent[v]]
+		head[parent[v]] = v
+	}
+	t := 0
+	stack := []int{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v < 0 {
+			tout[-(v + 1)] = t
+			t++
+			continue
+		}
+		tin[v] = t
+		t++
+		stack = append(stack, -(v + 1))
+		for c := head[v]; c != -1; c = next[c] {
+			stack = append(stack, c)
+		}
+	}
+	return tin, tout
 }
 
 func (d *DomTree) intersect(b1, b2 int) int {
@@ -96,16 +142,7 @@ func (d *DomTree) Dominates(a, b int) bool {
 	if d.rpoN[a] == -1 || d.rpoN[b] == -1 {
 		return false
 	}
-	for {
-		if a == b {
-			return true
-		}
-		next := d.idom[b]
-		if next == b {
-			return false // reached entry
-		}
-		b = next
-	}
+	return d.tin[a] <= d.tin[b] && d.tout[b] <= d.tout[a]
 }
 
 // StmtDominates reports whether access a dominates access b: every path
@@ -127,6 +164,8 @@ type PostDomTree struct {
 	exit  int   // index of the virtual exit node (== len(fn.Blocks))
 	ipdom []int // immediate postdominator in the reverse CFG; -1 unreachable
 	onum  []int // reverse-postorder number on the reverse CFG; -1 unreachable
+	tin   []int // postdominator-tree DFS entry time
+	tout  []int // postdominator-tree DFS exit time
 }
 
 // BuildPostDom computes the postdominator tree of fn over a virtual exit
@@ -206,6 +245,7 @@ func BuildPostDom(fn *Fn) *PostDomTree {
 			}
 		}
 	}
+	d.tin, d.tout = domIntervals(exit, d.ipdom, d.onum)
 	return d
 }
 
@@ -226,16 +266,12 @@ func (d *PostDomTree) PostDominates(a, b int) bool {
 	if d.onum[a] == -1 || d.onum[b] == -1 {
 		return false
 	}
-	for {
-		if a == b {
-			return true
-		}
-		next := d.ipdom[b]
-		if next == -1 || next == b || next == d.exit {
-			return false
-		}
-		b = next
+	if a == d.exit {
+		// The virtual exit postdominates only itself here, matching the
+		// chain walk this replaced (which stopped short of the exit).
+		return b == d.exit
 	}
+	return d.tin[a] <= d.tin[b] && d.tout[b] <= d.tout[a]
 }
 
 // StmtPostDominates reports whether access a postdominates access b: every

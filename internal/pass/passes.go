@@ -130,12 +130,12 @@ var passes = []Pass{
 		ctx.Count("final_delays", a.D.Size())
 		ctx.Count("lock_guarded", len(a.Guards))
 		cophase := 0
-		for _, c := range a.CoPhase {
-			if c {
-				cophase++
-			}
+		if a.CoPhase != nil {
+			cophase = a.CoPhase.Count()
 		}
 		ctx.Count("cophase_accesses", cophase)
+		ctx.Count("regions", a.Regions)
+		ctx.Count("largest_region", a.LargestRegion)
 		return nil
 	}},
 	&funcPass{"split-phase", func(ctx *Context) error {

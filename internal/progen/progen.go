@@ -49,6 +49,48 @@ func BigProc(procs int) Options {
 	}
 }
 
+// ScaleTier names one deterministic large program of the analysis scaling
+// study: fixed generation options plus a pinned seed, so the scaling
+// benchmarks, the incremental-analysis tests, and `pscbench -exp analysis`
+// all measure the same program without scanning seeds at run time. Accesses
+// records the built program's access count; the progen package tests pin it
+// so a generator change that silently reshapes the tiers fails loudly.
+type ScaleTier struct {
+	Name     string
+	Seed     int64
+	Opts     Options
+	Accesses int
+}
+
+// ScaleTiers returns the large analysis tiers (roughly 2k, 8k, and 33k
+// accesses). The programs are barrier-phase-rich — 11–12 top-level barrier
+// episodes each — which is the structure the regionized delay-set engine
+// exploits, and carry the full event/lock mix so every refinement stage has
+// work to do.
+func ScaleTiers() []ScaleTier {
+	tier := func(name string, seed int64, target, accesses int) ScaleTier {
+		return ScaleTier{Name: name, Seed: seed, Accesses: accesses, Opts: Options{
+			Procs: 4, MaxPhases: 16, MaxStmts: target / 10, MaxDepth: 2,
+			Arrays: 4, Scalars: 4, Events: 3, Locks: 2,
+		}}
+	}
+	return []ScaleTier{
+		tier("acc2048", 10, 2048, 2010),
+		tier("acc8192", 10, 8192, 8497),
+		tier("acc32768", 8, 32768, 33587),
+	}
+}
+
+// FindScaleTier returns the named tier, or false.
+func FindScaleTier(name string) (ScaleTier, bool) {
+	for _, t := range ScaleTiers() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return ScaleTier{}, false
+}
+
 func (o Options) withDefaults() Options {
 	if o.MaxPhases == 0 {
 		o.MaxPhases = 3

@@ -1,0 +1,89 @@
+package syncanal
+
+import (
+	"sort"
+
+	"repro/internal/delay"
+	"repro/internal/ir"
+)
+
+// Incremental is a session of repeated analyses over successive versions
+// of a program — the edit-analyze loop of an optimizing compiler front
+// end. It layers two reuse mechanisms over the batch Analyze:
+//
+//   - A whole-program fingerprint. When the rebuilt function is
+//     structurally identical to the previous one (rebuilds after edits to
+//     comments, formatting, or code the analysis never sees), the previous
+//     Result is returned with no analysis work at all.
+//
+//   - A shared delay.RegionCache threaded through every directed
+//     back-path computation. Region fingerprints are taken in region-local
+//     ids, so regions untouched by an edit replay their memoized delay
+//     rows even though the edit renumbered every access after it; only
+//     regions whose program order, conflict orientation, or precedence
+//     rows actually changed are re-searched.
+//
+// The synchronization skeleton (D1 candidates, the precedence fixpoint,
+// lock guards) is still recomputed per call — it is global by nature and
+// cheap relative to the back-path searches it feeds. Results returned
+// from an Incremental must be treated as read-only: a fingerprint hit
+// hands back the same *Result again.
+//
+// An Incremental is not safe for concurrent use.
+type Incremental struct {
+	opts Options
+	fp   delay.Sig
+	res  *Result
+}
+
+// NewIncremental starts an analysis session with the given options. The
+// options are fixed for the session; vary analysis modes across separate
+// sessions, not within one.
+func NewIncremental(opts Options) *Incremental {
+	opts.regionCache = delay.NewRegionCache(0)
+	return &Incremental{opts: opts}
+}
+
+// Fingerprint digests everything Analyze reads from a function: the
+// printed body (statements carry their access ids, so access structure,
+// control flow, and synchronization ops are all covered), the machine
+// size, and the induction-variable ranges that drive array index
+// disambiguation. Two functions with equal fingerprints are
+// indistinguishable to the analysis.
+func Fingerprint(fn *ir.Fn) delay.Sig {
+	s := delay.NewSig()
+	s.Word(uint64(fn.Procs))
+	s.Word(uint64(len(fn.Accesses)))
+	ids := make([]int, 0, len(fn.Ranges))
+	for id := range fn.Ranges {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		r := fn.Ranges[ir.LocalID(id)]
+		s.Word(uint64(id))
+		s.Word(uint64(r.Lo))
+		s.Word(uint64(r.Hi))
+	}
+	s.Bytes([]byte(fn.String()))
+	return s
+}
+
+// Analyze analyzes the current version of the program, reusing as much of
+// the previous call's work as the edit allows.
+func (inc *Incremental) Analyze(fn *ir.Fn) *Result {
+	fp := Fingerprint(fn)
+	if inc.res != nil && fp == inc.fp {
+		return inc.res
+	}
+	res := Analyze(fn, inc.opts)
+	inc.fp, inc.res = fp, res
+	return res
+}
+
+// CacheStats reports cumulative region-cache hits and misses across the
+// session — the observable measure of how much back-path work edits are
+// actually reusing.
+func (inc *Incremental) CacheStats() (hits, misses int) {
+	return inc.opts.regionCache.Hits, inc.opts.regionCache.Misses
+}

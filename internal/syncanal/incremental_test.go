@@ -1,0 +1,217 @@
+package syncanal
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/delay"
+	"repro/internal/ir"
+	"repro/internal/progen"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// buildSrc compiles program text to IR, or nil when any front-end stage
+// rejects it (mutated sources are only used when they still build).
+func buildSrc(src string, procs int) *ir.Fn {
+	prog, err := source.Parse(src)
+	if err != nil {
+		return nil
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		return nil
+	}
+	fn, err := ir.Build(info, ir.BuildOptions{Procs: procs})
+	if err != nil {
+		return nil
+	}
+	return fn
+}
+
+var litAssign = regexp.MustCompile(`= (\d) *;`)
+
+// editLiteral bumps the first single-digit literal stored by a statement
+// (declaration initializers are skipped: they never reach the IR body, so
+// editing one is invisible to the analysis by design) — a one-statement
+// edit that leaves the access structure alone but changes the program.
+func editLiteral(src string) string {
+	lines := strings.Split(src, "\n")
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "shared") || strings.HasPrefix(trimmed, "local") {
+			continue
+		}
+		m := litAssign.FindStringIndex(line)
+		if m == nil {
+			continue
+		}
+		d := line[m[0]+2] - '0'
+		lines[i] = line[:m[0]+2] + string('0'+(d+1)%10) + line[m[0]+3:]
+		return strings.Join(lines, "\n")
+	}
+	return ""
+}
+
+// editDuplicate duplicates the first shared-scalar store statement — an
+// edit that inserts an access and renumbers every access after it.
+func editDuplicate(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "S") && litAssign.MatchString(trimmed) {
+			return strings.Replace(src, line, line+"\n"+line, 1)
+		}
+	}
+	return ""
+}
+
+func requireSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	for _, s := range []struct {
+		name      string
+		got, want *delay.Set
+	}{{"D1", got.D1, want.D1}, {"D", got.D, want.D}} {
+		if s.got.Size() != s.want.Size() {
+			t.Fatalf("%s %s: %d pairs vs cold %d", label, s.name, s.got.Size(), s.want.Size())
+		}
+		for _, p := range s.want.Pairs() {
+			if !s.got.Has(p.A, p.B) {
+				t.Fatalf("%s %s: cold pair [%d,%d] missing", label, s.name, p.A, p.B)
+			}
+		}
+	}
+	if got.R.Size() != want.R.Size() {
+		t.Fatalf("%s: |R| %d vs cold %d", label, got.R.Size(), want.R.Size())
+	}
+}
+
+// TestIncrementalMatchesCold replays an edit session — original program,
+// literal edit, access-inserting edit, across many seeds — through one
+// Incremental instance and requires every step to be pair-identical to a
+// cold analysis of the same version. The shared region cache persists
+// across all steps, so any stale or colliding cache entry would surface
+// as a divergence here.
+func TestIncrementalMatchesCold(t *testing.T) {
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 3, MaxStmts: 6, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	inc := NewIncremental(Options{})
+	checked := 0
+	for seed := int64(0); seed < 40 && checked < 25; seed++ {
+		src := progen.Generate(seed, opts)
+		fn := buildSrc(src, 4)
+		if fn == nil || len(fn.Accesses) == 0 {
+			continue
+		}
+		requireSameResult(t, fmt.Sprintf("seed %d", seed),
+			inc.Analyze(fn), Analyze(fn, Options{}))
+		for _, edit := range []struct {
+			name   string
+			mutate func(string) string
+		}{{"literal", editLiteral}, {"duplicate", editDuplicate}} {
+			src2 := edit.mutate(src)
+			if src2 == "" || src2 == src {
+				continue
+			}
+			fn2 := buildSrc(src2, 4)
+			if fn2 == nil {
+				continue
+			}
+			requireSameResult(t, fmt.Sprintf("seed %d %s-edit", seed, edit.name),
+				inc.Analyze(fn2), Analyze(fn2, Options{}))
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d buildable seeds, want >= 20", checked)
+	}
+}
+
+// TestIncrementalFingerprintHit locks down the no-work fast path: a
+// rebuild of unchanged source (and a pure reformatting of it) returns the
+// previous Result without re-analysis, while a real edit does not.
+func TestIncrementalFingerprintHit(t *testing.T) {
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 3, MaxStmts: 6, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	var src string
+	var fn *ir.Fn
+	for seed := int64(0); ; seed++ {
+		if seed == 40 {
+			t.Fatal("no buildable, editable seed found")
+		}
+		src = progen.Generate(seed, opts)
+		fn = buildSrc(src, 4)
+		if fn != nil && len(fn.Accesses) > 0 && editLiteral(src) != "" &&
+			buildSrc(editLiteral(src), 4) != nil {
+			break
+		}
+	}
+	inc := NewIncremental(Options{})
+	r1 := inc.Analyze(fn)
+	if inc.Analyze(buildSrc(src, 4)) != r1 {
+		t.Fatal("rebuild of identical source re-analyzed instead of hitting the fingerprint")
+	}
+	reformatted := strings.ReplaceAll(src, "    ", "\t")
+	if rf := buildSrc(reformatted, 4); rf != nil {
+		if inc.Analyze(rf) != r1 {
+			t.Fatal("reformatted source re-analyzed instead of hitting the fingerprint")
+		}
+	}
+	fn2 := buildSrc(editLiteral(src), 4)
+	if inc.Analyze(fn2) == r1 {
+		t.Fatal("edited source returned the stale previous Result")
+	}
+}
+
+// TestIncrementalTierSpeedup measures the session economics on the pinned
+// 2k-access tier: the fingerprint fast path must be at least 20x faster
+// than the cold analysis, and a one-statement edit must beat a cold
+// re-analysis while reusing memoized regions.
+func TestIncrementalTierSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second tier analysis in -short mode")
+	}
+	tier, _ := progen.FindScaleTier("acc2048")
+	src := progen.Generate(tier.Seed, tier.Opts)
+	fn := buildSrc(src, tier.Opts.Procs)
+	if fn == nil {
+		t.Fatal("acc2048 tier source does not build")
+	}
+	inc := NewIncremental(Options{})
+	start := time.Now()
+	inc.Analyze(fn)
+	cold := time.Since(start)
+
+	start = time.Now()
+	r := inc.Analyze(buildSrc(src, tier.Opts.Procs))
+	warm := time.Since(start)
+	if r == nil || warm*20 > cold {
+		t.Fatalf("fingerprint fast path %v vs cold %v: below 20x", warm, cold)
+	}
+
+	src2 := editLiteral(src)
+	fn2 := buildSrc(src2, tier.Opts.Procs)
+	if src2 == "" || fn2 == nil {
+		t.Fatal("acc2048 tier source has no editable literal")
+	}
+	start = time.Now()
+	incRes := inc.Analyze(fn2)
+	edited := time.Since(start)
+	start = time.Now()
+	coldRes := Analyze(fn2, Options{})
+	coldEdited := time.Since(start)
+	requireSameResult(t, "acc2048 literal-edit", incRes, coldRes)
+	hits, misses := inc.CacheStats()
+	t.Logf("cold %v, fingerprint-hit %v (%.0fx), edited %v vs cold %v (%.2fx), region cache %d hits / %d misses",
+		cold, warm, float64(cold)/float64(warm), edited, coldEdited,
+		float64(coldEdited)/float64(edited), hits, misses)
+	if hits == 0 {
+		t.Fatal("literal edit reused no memoized regions")
+	}
+}

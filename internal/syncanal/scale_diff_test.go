@@ -1,0 +1,62 @@
+package syncanal
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+)
+
+// TestAnalyzeMidsizeMatchesWholeEngine crosses the large-input activation
+// thresholds of the regionized delay engine (dense-region dispatch at 256
+// region members, the word-parallel restricted search at 512 accesses)
+// inside the full pipeline, and requires pair-identical results against
+// the retained whole-graph engine. The small-seed differential suite
+// never reaches these sizes.
+func TestAnalyzeMidsizeMatchesWholeEngine(t *testing.T) {
+	fn := scalingProgram(t, 512)
+	got := Analyze(fn, Options{})
+	want := Analyze(fn, Options{Engine: delay.EngineWhole})
+	for _, s := range []struct {
+		label     string
+		got, want *delay.Set
+	}{
+		{"baseline", got.Baseline, want.Baseline},
+		{"D1", got.D1, want.D1},
+		{"D", got.D, want.D},
+	} {
+		if s.got.Size() != s.want.Size() {
+			t.Fatalf("%s: %d pairs vs whole-graph %d", s.label, s.got.Size(), s.want.Size())
+		}
+		for _, p := range s.want.Pairs() {
+			if !s.got.Has(p.A, p.B) {
+				t.Fatalf("%s: whole-graph pair [%d,%d] missing", s.label, p.A, p.B)
+			}
+		}
+	}
+	if got.R.Size() != want.R.Size() {
+		t.Fatalf("|R| %d vs whole-graph %d", got.R.Size(), want.R.Size())
+	}
+}
+
+// TestScaleTierAnalysisPinned pins the full-pipeline result shape on the
+// deterministic acc2048 tier: region decomposition and the refined delay
+// set size must not drift. A changed D here means an engine produced
+// different pairs at scale — precisely the regression the differential
+// suites cannot see below their size thresholds.
+func TestScaleTierAnalysisPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second tier build in -short mode")
+	}
+	fn := tierProgram(t, "acc2048")
+	res := Analyze(fn, Options{})
+	if res.Regions != 3 || res.LargestRegion != 1700 {
+		t.Fatalf("region decomposition drifted: %d regions, largest %d (want 3, 1700)",
+			res.Regions, res.LargestRegion)
+	}
+	if n := res.R.Size(); n != 1821813 {
+		t.Fatalf("|R| = %d, pinned 1821813", n)
+	}
+	if n := res.D.Size(); n != 1195464 {
+		t.Fatalf("|D| = %d, pinned 1195464", n)
+	}
+}

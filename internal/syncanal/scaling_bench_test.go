@@ -2,6 +2,7 @@ package syncanal
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"repro/internal/ir"
@@ -46,13 +47,50 @@ func scalingProgram(tb testing.TB, target int) *ir.Fn {
 	return nil
 }
 
+// tierProgram builds the named progen scale tier (see progen.ScaleTiers):
+// a pinned-seed program, so no seed scan happens at benchmark time.
+func tierProgram(tb testing.TB, name string) *ir.Fn {
+	tb.Helper()
+	tier, ok := progen.FindScaleTier(name)
+	if !ok {
+		tb.Fatalf("unknown scale tier %q", name)
+	}
+	prog, err := source.Parse(progen.Generate(tier.Seed, tier.Opts))
+	if err != nil {
+		tb.Fatalf("%s: parse: %v", name, err)
+	}
+	info, err := sem.Check(prog)
+	if err != nil {
+		tb.Fatalf("%s: sem: %v", name, err)
+	}
+	fn, err := ir.Build(info, ir.BuildOptions{Procs: tier.Opts.Procs})
+	if err != nil {
+		tb.Fatalf("%s: build: %v", name, err)
+	}
+	return fn
+}
+
 // BenchmarkAnalysisScaling measures the full synchronization analysis
 // (conflict set, baseline + D1 + refined delay sets, precedence closure)
-// on progen programs of growing size.
+// on progen programs of growing size. The small sizes scan for a seed; the
+// large tiers come from the pinned progen.ScaleTiers programs.
 func BenchmarkAnalysisScaling(b *testing.B) {
 	for _, size := range scalingSizes {
 		fn := scalingProgram(b, size)
 		b.Run(fmt.Sprintf("acc%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Analyze(fn, Options{})
+			}
+		})
+	}
+	if os.Getenv("PSC_SCALE_TIERS") == "" {
+		b.Log("set PSC_SCALE_TIERS=1 to run the multi-minute scale tiers")
+		return
+	}
+	for _, name := range []string{"acc2048", "acc8192"} {
+		fn := tierProgram(b, name)
+		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				Analyze(fn, Options{})

@@ -21,6 +21,7 @@ package syncanal
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -44,6 +45,18 @@ type Options struct {
 	// reference engine (see delay.Constraints.Reference); used by the
 	// differential tests.
 	Reference bool
+	// Engine selects the polynomial delay engine for every back-path
+	// search: the regionized engine by default, or the whole-graph batched
+	// engine (delay.EngineWhole) as the retained oracle.
+	Engine delay.Engine
+	// NoBaseline makes ComputeBaseline a no-op. The baseline Shasha–Snir
+	// set is an ablation artifact, not an input of the refinement; callers
+	// that only need D (the incremental analysis in particular) skip it.
+	NoBaseline bool
+
+	// regionCache, when set (by Incremental), memoizes per-region results
+	// of the directed delay computations across Analyze calls.
+	regionCache *delay.RegionCache
 }
 
 // Precedence is the relation R: Has(a, b) means access a is guaranteed to
@@ -78,16 +91,33 @@ func (r *Precedence) Size() int { return r.rel.Count() }
 // modify it.
 func (r *Precedence) Row(a int) []uint64 { return r.rel.Row(a) }
 
-// transClose closes R under transitivity (Warshall over bitset rows: one
-// row OR covers 64 targets at a time); reports change.
+// transClose closes R under transitivity; reports change. The closure is
+// computed as length->=1 reachability over the current edge set: Tarjan
+// condensation followed by one reverse-topological row-OR pass over the
+// DAG (graph.ReachRows). That costs O(E + E_dag*n/64) word operations where
+// Warshall's row-OR form costs O(n^2) row ORs — the difference between
+// milliseconds and minutes at 8k accesses.
 func (r *Precedence) transClose() bool {
+	iter := func(u int, visit func(v int32)) {
+		for wi, wd := range r.rel.Row(u) {
+			for wd != 0 {
+				visit(int32(wi<<6 + bits.TrailingZeros64(wd)))
+				wd &= wd - 1
+			}
+		}
+	}
+	closed := graph.Condense(r.n, iter).ReachRows(r.n, iter)
 	changed := false
-	for k := 0; k < r.n; k++ {
-		for i := 0; i < r.n; i++ {
-			if i != k && r.rel.Has(i, k) && r.rel.OrRow(i, k) {
+	for i := 0; i < r.n; i++ {
+		old, now := r.rel.Row(i), closed.Row(i)
+		for w := range old {
+			if now[w] != old[w] {
 				changed = true
 			}
 		}
+		// The closure is a superset of the edge set, so copying is sound
+		// even on unchanged rows.
+		copy(old, now)
 	}
 	return changed
 }
@@ -155,9 +185,16 @@ type Result struct {
 	// Guards maps access ID -> set of lock keys guarding it.
 	Guards map[int]map[string]bool
 	// CoPhase is the symmetric co-phase relation (nil when barrier
-	// analysis is disabled): CoPhase[x*n+y] reports that accesses x and y
-	// can appear in a common barrier-free region.
-	CoPhase []bool
+	// analysis is disabled): CoPhase.Has(x, y) reports that accesses x and
+	// y can appear in a common barrier-free region.
+	CoPhase *graph.BitMatrix
+	// Regions and LargestRegion describe the strongly-connected-component
+	// decomposition of the oriented mixed graph the regionized delay
+	// engine works on: how many regions there are and how many accesses
+	// the biggest one holds. Surfaced through the pass pipeline's
+	// -pass-stats counters.
+	Regions       int
+	LargestRegion int
 	// Timing records how long each sub-phase took.
 	Timing Timing
 }
@@ -191,8 +228,13 @@ func Prepare(fn *ir.Fn) *Result {
 // ComputeBaseline computes the plain Shasha–Snir delay set (no
 // synchronization analysis) into res.Baseline. Requires Prepare.
 func (res *Result) ComputeBaseline(opts Options) {
+	if opts.NoBaseline {
+		return
+	}
 	t0 := time.Now()
-	res.Baseline = delay.Compute(res.AG, res.CS, delay.Constraints{Exact: opts.Exact, Reference: opts.Reference})
+	res.Baseline = delay.Compute(res.AG, res.CS, delay.Constraints{
+		Exact: opts.Exact, Reference: opts.Reference, Engine: opts.Engine,
+	})
 	res.Timing.Baseline = time.Since(t0)
 }
 
@@ -203,15 +245,22 @@ func (res *Result) ComputeBaseline(opts Options) {
 func (res *Result) RefineSync(opts Options) {
 	fn := res.Fn
 
-	// Step 2: D1.
+	// Step 2: D1. The sync-pair restriction is an endpoint set, not an
+	// opaque filter: the batched engines can then skip non-sync targets
+	// wholesale (and flip to reverse sweeps when sync accesses are sparse)
+	// instead of testing every candidate pair.
 	t0 := time.Now()
-	isSyncPair := func(a, b int) bool {
-		return fn.Accesses[a].Kind.IsSync() || fn.Accesses[b].Kind.IsSync()
+	syncIDs := []int{}
+	for _, a := range fn.Accesses {
+		if a.Kind.IsSync() {
+			syncIDs = append(syncIDs, a.ID)
+		}
 	}
 	res.D1 = delay.Compute(res.AG, res.CS, delay.Constraints{
-		PairFilter: isSyncPair,
-		Exact:      opts.Exact,
-		Reference:  opts.Reference,
+		Endpoints: syncIDs,
+		Exact:     opts.Exact,
+		Reference: opts.Reference,
+		Engine:    opts.Engine,
 	})
 	res.Timing.D1 = time.Since(t0)
 
@@ -270,7 +319,7 @@ func (res *Result) RefineSync(opts Options) {
 		if res.CoPhase == nil {
 			return true
 		}
-		return res.CoPhase[x*n+y]
+		return res.CoPhase.Has(x, y)
 	}
 	orientDir := func(x, y int) bool {
 		// Remove the direction [a2 -> a1] when [a1, a2] ∈ R.
@@ -282,6 +331,38 @@ func (res *Result) RefineSync(opts Options) {
 		}
 		return orientDir(x, y)
 	}
+	// Per-access lock masks: bit l of guardBits[x] is set iff lock l guards
+	// x, so the shared-lock arm of removed() is one AND of three words
+	// instead of three map lookups plus an iteration — removed() runs once
+	// per visited node of every restricted per-pair search. The map form
+	// below stays as the fallback for >64 distinct locks.
+	lockIDs := make(map[string]int)
+	for _, ls := range res.Guards {
+		for l := range ls {
+			lockIDs[l] = 0
+		}
+	}
+	{
+		// Deterministic bit assignment (sorted names), so region memo keys
+		// hashing guard masks are stable across runs.
+		names := make([]string, 0, len(lockIDs))
+		for l := range lockIDs {
+			names = append(names, l)
+		}
+		sort.Strings(names)
+		for i, l := range names {
+			lockIDs[l] = i
+		}
+	}
+	var guardBits []uint64
+	if len(lockIDs) <= 64 {
+		guardBits = make([]uint64, n)
+		for id, ls := range res.Guards {
+			for l := range ls {
+				guardBits[id] |= 1 << lockIDs[l]
+			}
+		}
+	}
 	removed := func(a, b, z int) bool {
 		// Figure 6: a path to a is an execution where the path's accesses
 		// run before a; z with a ≤ z can never do that. Symmetrically a
@@ -291,6 +372,9 @@ func (res *Result) RefineSync(opts Options) {
 		}
 		// Section 5.3: for a pair guarded by the same lock, other accesses
 		// guarded by that lock cannot appear in the violation sequence.
+		if guardBits != nil {
+			return guardBits[a]&guardBits[b]&guardBits[z] != 0
+		}
 		if len(res.Guards) > 0 {
 			ga, gb, gz := res.Guards[a], res.Guards[b], res.Guards[z]
 			for l := range ga {
@@ -301,41 +385,181 @@ func (res *Result) RefineSync(opts Options) {
 		}
 		return false
 	}
+
+	// Bit-parallel forms of the same constraints for the batched engines.
+	// The closure forms above stay on the Constraints so the per-pair
+	// reference oracle re-derives every answer independently of these
+	// precomputed rows.
+	w := graph.WordsFor(n)
+	rt := res.R.rel.Transpose()
+	orientRows := graph.NewBitMatrix(n)
+	for x := 0; x < n; x++ {
+		ox, cx, rx := orientRows.Row(x), res.CS.Row(x), rt.Row(x)
+		for i := range ox {
+			ox[i] = cx[i] &^ rx[i]
+		}
+	}
+	phasedRows := orientRows
+	if res.CoPhase != nil {
+		dataMask := make([]uint64, w)
+		for _, a := range fn.Accesses {
+			if a.Kind.IsData() {
+				graph.BitSet(dataMask, a.ID)
+			}
+		}
+		phasedRows = graph.NewBitMatrix(n)
+		for x := 0; x < n; x++ {
+			px, ox := phasedRows.Row(x), orientRows.Row(x)
+			if fn.Accesses[x].Kind.IsData() {
+				cr := res.CoPhase.Row(x)
+				for i := range px {
+					px[i] = ox[i] & (^dataMask[i] | cr[i])
+				}
+			} else {
+				copy(px, ox)
+			}
+		}
+	}
+	// Exact bitset cover of the removed() predicate: R.Row(a) covers the
+	// R.Has(a, z) arm, the transposed row covers R.Has(z, b), and per-lock
+	// access masks cover the shared-lock triple. A search whose visited set
+	// misses the cover is identical to the unrestricted one.
+	lockMask := make(map[string][]uint64)
+	for id, ls := range res.Guards {
+		for l := range ls {
+			m := lockMask[l]
+			if m == nil {
+				m = make([]uint64, w)
+				lockMask[l] = m
+			}
+			graph.BitSet(m, id)
+		}
+	}
+	lockRows := make([][]uint64, len(lockIDs))
+	for l, bit := range lockIDs {
+		lockRows[bit] = lockMask[l]
+	}
+	cover := func(a, b int, scratch []uint64) []uint64 {
+		ra, rb := res.R.Row(a), rt.Row(b)
+		for i := range scratch {
+			scratch[i] = ra[i] | rb[i]
+		}
+		if guardBits != nil {
+			for m := guardBits[a] & guardBits[b]; m != 0; m &= m - 1 {
+				for i, wd := range lockRows[bits.TrailingZeros64(m)] {
+					scratch[i] |= wd
+				}
+			}
+		} else if len(res.Guards) > 0 {
+			ga, gb := res.Guards[a], res.Guards[b]
+			for l := range ga {
+				if gb[l] {
+					for i, wd := range lockMask[l] {
+						scratch[i] |= wd
+					}
+				}
+			}
+		}
+		return scratch
+	}
+	// Region statistics: the strongly-connected-component decomposition of
+	// the oriented mixed graph — the partition the regionized engine solves
+	// component by component.
+	mixed := func(u int, visit func(v int32)) {
+		for _, v := range res.AG.G.Adj[u] {
+			visit(int32(v))
+		}
+		for wi, wd := range orientRows.Row(u) {
+			for wd != 0 {
+				visit(int32(wi<<6 + bits.TrailingZeros64(wd)))
+				wd &= wd - 1
+			}
+		}
+	}
+	cond := graph.Condense(n, mixed)
+	res.Regions = cond.NComp
+	for _, m := range cond.Members {
+		if len(m) > res.LargestRegion {
+			res.LargestRegion = len(m)
+		}
+	}
+
 	// Steps 5-6, in two passes: pairs involving a synchronization access
 	// keep the full conflict set (orientation and removal only); pairs of
 	// two data accesses additionally drop phase-separated conflict edges.
+	// The cover above is exact (each arm of removed() is covered by exactly
+	// its own rows), which lets the regionized engine fold it straight into
+	// restricted-search visited sets. nodeSig feeds the same rows into the
+	// per-region memo key for incremental analysis: removed() consults, for
+	// nodes of one region, only R restricted to that region plus the nodes'
+	// lock-guard sets, so hashing those (in local ids) makes region reuse
+	// exact under global renumbering.
+	nodeSig := func(x int, mask []uint64, lof []int32, s *delay.Sig) {
+		for wi, wd := range res.R.Row(x) {
+			for m := wd & mask[wi]; m != 0; m &= m - 1 {
+				s.Word(uint64(lof[wi<<6+bits.TrailingZeros64(m)]))
+			}
+		}
+		s.Word(1 << 63)
+		if guardBits != nil {
+			s.Word(guardBits[x])
+		}
+	}
 	syncPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
-		PairFilter:  isSyncPair,
-		ConflictDir: orientDir,
-		Removed:     removed,
-		Exact:       opts.Exact,
-		Reference:   opts.Reference,
+		Endpoints:    syncIDs,
+		ConflictDir:  orientDir,
+		DirRows:      orientRows,
+		Removed:      removed,
+		RemovedCover: cover,
+		RemovedExact: true,
+		Cache:        opts.regionCache,
+		NodeSig:      nodeSig,
+		Exact:        opts.Exact,
+		Reference:    opts.Reference,
+		Engine:       opts.Engine,
 	})
 	dataPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
-		PairFilter:  func(a, b int) bool { return !isSyncPair(a, b) },
-		ConflictDir: phasedDir,
-		Removed:     removed,
-		Exact:       opts.Exact,
-		Reference:   opts.Reference,
+		Endpoints:     syncIDs,
+		EndpointsMode: delay.EndpointsExclude,
+		ConflictDir:   phasedDir,
+		DirRows:       phasedRows,
+		Removed:       removed,
+		RemovedCover:  cover,
+		RemovedExact:  true,
+		Cache:         opts.regionCache,
+		NodeSig:       nodeSig,
+		Exact:         opts.Exact,
+		Reference:     opts.Reference,
+		Engine:        opts.Engine,
 	})
 	res.D = res.D1.Union(syncPairs).Union(dataPairs)
 	res.Timing.Orient = time.Since(t0)
 }
 
-// buildCoPhase computes the symmetric co-phase relation: CoPhase[x][y] is
-// true when some barrier-free region of the access graph contains both x
+// buildCoPhase computes the symmetric co-phase relation: CoPhase.Has(x, y)
+// is true when some barrier-free region of the access graph contains both x
 // and y. Regions start at the program entry and immediately after each
 // barrier access, and extend until the next barrier. Accesses that are
 // never co-phase cannot execute concurrently under aligned barriers.
-func buildCoPhase(fn *ir.Fn, ag *ir.AccessGraph) []bool {
+func buildCoPhase(fn *ir.Fn, ag *ir.AccessGraph) *graph.BitMatrix {
 	n := len(fn.Accesses)
-	co := make([]bool, n*n)
+	co := graph.NewBitMatrix(n)
 	isBarrier := func(id int) bool { return fn.Accesses[id].Kind == ir.AccBarrier }
 
+	// One region mask, OR-ed into every member's row: |region|*n/64 word
+	// operations instead of |region|^2 bit stores.
+	mask := make([]uint64, graph.WordsFor(n))
 	mark := func(region []int) {
+		for i := range mask {
+			mask[i] = 0
+		}
 		for _, x := range region {
-			for _, y := range region {
-				co[x*n+y] = true
+			graph.BitSet(mask, x)
+		}
+		for _, x := range region {
+			row := co.Row(x)
+			for i := range mask {
+				row[i] |= mask[i]
 			}
 		}
 	}
@@ -448,20 +672,91 @@ func (res *Result) refineR() {
 			hasPred[p.B] = true
 		}
 	}
+	// Intern both sides of the derivation. Whether [a1, a2] is derivable
+	// depends only on a1's successor list and a2's predecessor row, so
+	// accesses sharing those collapse into one class and the quadratic scan
+	// runs over class pairs. In barrier-phase-heavy programs whole phases
+	// share their dominating-successor structure, shrinking the scan by
+	// orders of magnitude.
+	w := graph.WordsFor(n)
+	type succClass struct {
+		succs   []int
+		members []int
+		u       []uint64 // union of the succs' R rows, rebuilt per round
+	}
+	var sClasses []*succClass
+	sKey := make(map[string]int)
+	var keyBuf []byte
+	for a1 := 0; a1 < n; a1++ {
+		succs := d1succDom[a1]
+		if len(succs) == 0 {
+			continue
+		}
+		keyBuf = keyBuf[:0]
+		for _, s := range succs {
+			keyBuf = append(keyBuf, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		idx, ok := sKey[string(keyBuf)]
+		if !ok {
+			idx = len(sClasses)
+			sKey[string(keyBuf)] = idx
+			sClasses = append(sClasses, &succClass{succs: succs, u: make([]uint64, w)})
+		}
+		sClasses[idx].members = append(sClasses[idx].members, a1)
+	}
+	type predClass struct {
+		row     []uint64
+		members []int
+	}
+	var pClasses []*predClass
+	pKey := make(map[string]int)
+	for a2 := 0; a2 < n; a2++ {
+		if !hasPred[a2] {
+			continue
+		}
+		row := predDom.Row(a2)
+		keyBuf = keyBuf[:0]
+		for _, wd := range row {
+			keyBuf = append(keyBuf,
+				byte(wd), byte(wd>>8), byte(wd>>16), byte(wd>>24),
+				byte(wd>>32), byte(wd>>40), byte(wd>>48), byte(wd>>56))
+		}
+		idx, ok := pKey[string(keyBuf)]
+		if !ok {
+			idx = len(pClasses)
+			pKey[string(keyBuf)] = idx
+			pClasses = append(pClasses, &predClass{row: row})
+		}
+		pClasses[idx].members = append(pClasses[idx].members, a2)
+	}
+	// derived memoizes class pairs already added to R; R only grows, so a
+	// derivation never needs re-checking once it fires.
+	derived := make([]bool, len(sClasses)*len(pClasses))
 	for {
 		changed := res.R.transClose()
-		for a1 := 0; a1 < n; a1++ {
-			succs := d1succDom[a1]
-			if len(succs) == 0 {
-				continue
+		for si, sc := range sClasses {
+			for i := range sc.u {
+				sc.u[i] = 0
 			}
-			for a2 := 0; a2 < n; a2++ {
-				if !hasPred[a2] || res.R.Has(a1, a2) {
+			for _, b1 := range sc.succs {
+				rb := res.R.Row(b1)
+				for i := range sc.u {
+					sc.u[i] |= rb[i]
+				}
+			}
+			for pi, pc := range pClasses {
+				if derived[si*len(pClasses)+pi] || !graph.AndAny(sc.u, pc.row) {
 					continue
 				}
-				if derive(res.R, succs, predDom.Row(a2)) {
-					res.R.Add(a1, a2)
-					changed = true
+				// Some b1 in succs and b2 in preds have [b1, b2] ∈ R: every
+				// member pair of the two classes joins R.
+				derived[si*len(pClasses)+pi] = true
+				for _, a1 := range sc.members {
+					for _, a2 := range pc.members {
+						if res.R.Add(a1, a2) {
+							changed = true
+						}
+					}
 				}
 			}
 		}
@@ -469,17 +764,6 @@ func (res *Result) refineR() {
 			return
 		}
 	}
-}
-
-// derive reports whether some b1 in succs and b2 in the preds bitset have
-// [b1, b2] ∈ R: one row intersection per b1.
-func derive(r *Precedence, succs []int, preds []uint64) bool {
-	for _, b1 := range succs {
-		if graph.AndAny(r.Row(b1), preds) {
-			return true
-		}
-	}
-	return false
 }
 
 // computeGuards implements the guarded-access definition of section 5.3.
@@ -497,15 +781,27 @@ func computeGuards(res *Result) map[int]map[string]bool {
 	fn := res.Fn
 	guards := make(map[int]map[string]bool)
 	held := mustHeldLocks(fn)
+	locked := false
+	for _, ls := range held {
+		if len(ls) > 0 {
+			locked = true
+			break
+		}
+	}
+	if !locked {
+		// Lock-free program: nothing is guarded, so the confinement
+		// closure — the expensive part — never needs to be built.
+		return guards
+	}
 	confined := confinementReach(res)
 	for _, a := range fn.Accesses {
 		for l := range held[a.ID] {
 			b1 := dominatingLock(res, a, l)
-			if b1 == nil || !confined[b1.ID][a.ID] {
+			if b1 == nil || !confined.Has(b1.ID, a.ID) {
 				continue
 			}
 			b2 := dominatedUnlock(res, a, l)
-			if b2 == nil || !confined[a.ID][b2.ID] {
+			if b2 == nil || !confined.Has(a.ID, b2.ID) {
 				continue
 			}
 			if guards[a.ID] == nil {
@@ -520,71 +816,67 @@ func computeGuards(res *Result) map[int]map[string]bool {
 // confinementReach builds the reachability closure of D1 edges plus direct
 // def-use edges (a Load's destination local used in a later access's
 // expressions forces the load's completion before that access initiates —
-// an operand dependence the hardware enforces unconditionally).
-func confinementReach(res *Result) [][]bool {
+// an operand dependence the hardware enforces unconditionally). The closure
+// is one condensation plus a reverse-topological row-OR DP; def-use edges
+// come from a local -> reading-accesses index, so edge collection is linear
+// in the number of uses instead of loads x accesses.
+func confinementReach(res *Result) *graph.BitMatrix {
 	fn := res.Fn
 	n := len(fn.Accesses)
-	adj := make([][]int, n)
+	adj := make([][]int32, n)
 	for _, p := range res.D1.Pairs() {
-		adj[p.A] = append(adj[p.A], p.B)
+		adj[p.A] = append(adj[p.A], int32(p.B))
 	}
-	// Direct def-use: load a defines a unique temp; any access whose
-	// expressions read that temp depends on a.
+	users := make(map[ir.LocalID][]int32)
+	var locals []ir.LocalID
+	for _, c := range fn.Accesses {
+		locals = accessLocals(c, locals[:0])
+		for _, l := range locals {
+			users[l] = append(users[l], int32(c.ID))
+		}
+	}
 	for _, blk := range fn.Blocks {
 		for _, s := range blk.Stmts {
 			ld, ok := s.(*ir.Load)
 			if !ok {
 				continue
 			}
-			for _, c := range fn.Accesses {
-				if c.ID == ld.Acc.ID {
-					continue
-				}
-				if accessUsesLocal(c, ld.Dst) {
-					adj[ld.Acc.ID] = append(adj[ld.Acc.ID], c.ID)
+			for _, cid := range users[ld.Dst] {
+				if int(cid) != ld.Acc.ID {
+					adj[ld.Acc.ID] = append(adj[ld.Acc.ID], cid)
 				}
 			}
 		}
 	}
-	reach := make([][]bool, n)
-	for i := 0; i < n; i++ {
-		seen := make([]bool, n)
-		stack := append([]int(nil), adj[i]...)
-		for _, v := range stack {
-			seen[v] = true
+	iter := func(u int, visit func(v int32)) {
+		for _, v := range adj[u] {
+			visit(v)
 		}
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, v := range adj[u] {
-				if !seen[v] {
-					seen[v] = true
-					stack = append(stack, v)
-				}
-			}
-		}
-		reach[i] = seen
 	}
-	return reach
+	return graph.Condense(n, iter).ReachRows(n, iter)
 }
 
-// accessUsesLocal reports whether the access's statement reads the local.
-func accessUsesLocal(a *ir.Access, id ir.LocalID) bool {
+// accessLocals appends the locals the access's statement reads.
+func accessLocals(a *ir.Access, out []ir.LocalID) []ir.LocalID {
 	if a.Blk == nil || a.Idx >= len(a.Blk.Stmts) {
-		return false
+		return out
 	}
 	switch s := a.Blk.Stmts[a.Idx].(type) {
 	case *ir.Load:
-		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
-	case *ir.Store:
-		if ir.ExprUsesLocal(s.Src, id) {
-			return true
+		if s.Acc.Index != nil {
+			out = ir.ExprLocals(s.Acc.Index, out)
 		}
-		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+	case *ir.Store:
+		out = ir.ExprLocals(s.Src, out)
+		if s.Acc.Index != nil {
+			out = ir.ExprLocals(s.Acc.Index, out)
+		}
 	case *ir.SyncOp:
-		return s.Acc.Index != nil && ir.ExprUsesLocal(s.Acc.Index, id)
+		if s.Acc.Index != nil {
+			out = ir.ExprLocals(s.Acc.Index, out)
+		}
 	}
-	return false
+	return out
 }
 
 // mustHeldLocks runs a forward must-dataflow: held[acc] = set of lock keys
