@@ -11,6 +11,9 @@
 //	            analysis: compiler-side scaling of the delay-set and
 //	            synchronization analyses (not part of all; timings are
 //	            machine-dependent)
+//	            serve: cold vs hot compile latency through the pscd
+//	            service stack (not part of all; timings are
+//	            machine-dependent)
 //	-procs N    processors for fig12/ablation/messages (default 64)
 //	-scale N    problem scale (default 1)
 //	-parallel   fan the experiment grids across all CPUs; output is
@@ -21,14 +24,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 
 	"repro/internal/bench"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|passes|bigproc|analysis|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig12|fig13|ablation|messages|cse|passes|bigproc|analysis|serve|all")
 	procs := flag.Int("procs", 64, "processors for fig12/ablation/messages")
 	scale := flag.Int("scale", 1, "problem scale")
 	parallel := flag.Bool("parallel", false, "fan experiment grids across all CPUs (deterministic output)")
@@ -138,6 +144,22 @@ func main() {
 		}
 		fmt.Println(bench.FormatAnalysis(rows))
 		emit("analysis", bench.AnalysisJSON(rows))
+	}
+	// Service-stack latency; excluded from "all" so the default output
+	// stays machine-independent.
+	if *exp == "serve" {
+		any = true
+		s := serve.New(serve.Config{})
+		hs := httptest.NewServer(s.Handler())
+		rows, err := serve.RunLatencyExperiment(
+			client.New(hs.URL, client.WithHTTPClient(hs.Client())), 8, 3, 5)
+		hs.Close()
+		s.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(serve.FormatLatency(rows))
+		emit("serve", serve.LatencyJSON(rows))
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "pscbench: unknown experiment %q\n", *exp)

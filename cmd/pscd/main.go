@@ -1,0 +1,123 @@
+// Command pscd is the compilation-as-a-service daemon: a long-running
+// HTTP/JSON server exposing the splitc pipeline as /v1/compile,
+// /v1/analyze, and /v1/verify, with singleflight deduplication, a bounded
+// worker pool, and a content-addressed artifact cache (internal/serve).
+//
+// Usage:
+//
+//	pscd [flags]
+//
+//	-addr HOST:PORT   listen address (default 127.0.0.1:8642)
+//	-workers N        concurrent pipeline executions (default: one per CPU)
+//	-cache BACKEND    mem | disk (default mem)
+//	-cache-dir DIR    artifact directory for -cache disk (default .pscd-cache)
+//	-cache-bytes N    in-memory cache budget in bytes (default 256 MiB)
+//	-timeout D        default per-request deadline (default 30s)
+//	-max-timeout D    largest per-request deadline a client may ask for
+//	-max-body N       request size limit in bytes (default 8 MiB)
+//	-drain D          how long to wait for in-flight requests on SIGTERM
+//	-quiet            suppress per-request logs
+//
+// The daemon logs one JSON line per request (endpoint, key, cache
+// hit/miss/dedup, status, latency, per-pass wall time) to stderr. On
+// SIGINT/SIGTERM it stops accepting work (503), drains in-flight requests
+// for -drain, then exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8642", "listen address")
+	workers := flag.Int("workers", 0, "concurrent pipeline executions (0: one per CPU)")
+	cache := flag.String("cache", "mem", "artifact cache backend: mem|disk")
+	cacheDir := flag.String("cache-dir", ".pscd-cache", "artifact directory for -cache disk")
+	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache budget in bytes (0: 256 MiB)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 2*time.Minute, "largest per-request deadline a client may request")
+	maxBody := flag.Int64("max-body", 8<<20, "request size limit in bytes")
+	drain := flag.Duration("drain", 10*time.Second, "in-flight drain budget on SIGTERM")
+	quiet := flag.Bool("quiet", false, "suppress per-request logs")
+	flag.Parse()
+
+	var store serve.Store
+	switch *cache {
+	case "mem":
+		store = serve.NewMemStore(*cacheBytes)
+	case "disk":
+		ds, err := serve.NewDiskStore(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds
+	default:
+		fatal(fmt.Errorf("unknown cache backend %q (mem|disk)", *cache))
+	}
+
+	logger := log.New(os.Stderr, "", 0)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = nil
+	}
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		Store:           store,
+		MaxRequestBytes: *maxBody,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		Logger:          reqLogger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	logger.Printf(`{"event":"listening","addr":%q,"workers":%d,"cache":%q}`,
+		ln.Addr().String(), *workers, *cache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		// Graceful drain: refuse new work, let in-flight requests finish
+		// within the drain budget, then stop the worker pool.
+		logger.Printf(`{"event":"draining","budget":%q}`, drain.String())
+		srv.SetDraining()
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := hs.Shutdown(dctx)
+		cancel()
+		srv.Close()
+		if err != nil {
+			logger.Printf(`{"event":"drain_incomplete","error":%q}`, err.Error())
+			os.Exit(1)
+		}
+		logger.Print(`{"event":"stopped"}`)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pscd:", err)
+	os.Exit(1)
+}

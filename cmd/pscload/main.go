@@ -1,0 +1,111 @@
+// Command pscload is the load generator for the pscd compilation daemon:
+// it drives N concurrent clients over a deterministic program mix (the
+// five app kernels plus generated programs) and reports throughput,
+// latency percentiles, and cache hit rate.
+//
+// Usage:
+//
+//	pscload [flags]
+//
+//	-addr URL         daemon base URL (default http://127.0.0.1:8642)
+//	-clients N        concurrent clients (default 32)
+//	-duration D       run length (default 5s; ignored when -n is set)
+//	-n N              total request budget instead of a duration
+//	-procs N          compile-time machine size of every request (default 8)
+//	-machine M        cost model (default cm5)
+//	-level L          optimization level (default oneway)
+//	-seeds N          generated programs mixed in with the app kernels (default 8)
+//	-analyze-every N  one /v1/analyze per N compiles (default 0: compiles only)
+//	-json             emit the result as JSON instead of text
+//
+// Assertion flags make pscload a CI gate (exit 1 on violation):
+//
+//	-max-errors N        tolerated request errors (default 0)
+//	-min-throughput R    required requests/second (default 0: off)
+//	-min-hit-rate F      required cache hit rate in [0,1] (default 0: off)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8642", "daemon base URL")
+	clients := flag.Int("clients", 32, "concurrent clients")
+	duration := flag.Duration("duration", 5*time.Second, "run length (ignored when -n is set)")
+	requests := flag.Int("n", 0, "total request budget (0: run for -duration)")
+	procs := flag.Int("procs", 8, "compile-time machine size")
+	machineName := flag.String("machine", "cm5", "cost model")
+	level := flag.String("level", "oneway", "optimization level")
+	seeds := flag.Int("seeds", 8, "generated programs in the mix")
+	analyzeEvery := flag.Int("analyze-every", 0, "one analyze request per N compiles (0: off)")
+	jsonOut := flag.Bool("json", false, "emit JSON")
+	maxErrors := flag.Int("max-errors", 0, "tolerated request errors")
+	minThroughput := flag.Float64("min-throughput", 0, "required requests/second (0: off)")
+	minHitRate := flag.Float64("min-hit-rate", 0, "required cache hit rate in [0,1] (0: off)")
+	flag.Parse()
+
+	c := client.New(*addr)
+	ctx := context.Background()
+	if !c.Healthy(ctx) {
+		fatal(fmt.Errorf("daemon at %s is not answering /healthz", *addr))
+	}
+
+	res, err := serve.RunLoad(ctx, c, serve.LoadConfig{
+		Clients:      *clients,
+		Requests:     *requests,
+		Duration:     *duration,
+		Mix:          serve.LoadMix(*procs, *seeds),
+		Procs:        *procs,
+		Machine:      *machineName,
+		Level:        *level,
+		AnalyzeEvery: *analyzeEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(res.Format())
+	}
+
+	bad := false
+	if res.Errors > *maxErrors {
+		fmt.Fprintf(os.Stderr, "pscload: FAIL: %d errors > %d tolerated\n", res.Errors, *maxErrors)
+		bad = true
+	}
+	if *minThroughput > 0 && res.Throughput < *minThroughput {
+		fmt.Fprintf(os.Stderr, "pscload: FAIL: throughput %.1f req/s < required %.1f\n", res.Throughput, *minThroughput)
+		bad = true
+	}
+	if *minHitRate > 0 && res.HitRate < *minHitRate {
+		fmt.Fprintf(os.Stderr, "pscload: FAIL: hit rate %.2f < required %.2f\n", res.HitRate, *minHitRate)
+		bad = true
+	}
+	if res.Requests == 0 {
+		fmt.Fprintln(os.Stderr, "pscload: FAIL: no requests completed")
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pscload:", err)
+	os.Exit(1)
+}

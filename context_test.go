@@ -1,0 +1,42 @@
+package splitc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/progen"
+)
+
+// TestCompileContextCanceled pins the service-facing cancellation
+// contract: a canceled context aborts the pipeline at a pass boundary
+// with an error that wraps the context cause.
+func TestCompileContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := progen.Generate(1, progen.Options{Procs: 4})
+	_, err := CompileContext(ctx, src, Options{Procs: 4, Level: LevelOneWay})
+	if err == nil {
+		t.Fatal("CompileContext with canceled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, does not wrap context.Canceled", err)
+	}
+}
+
+// TestCompileContextBackground pins that a plain background context
+// changes nothing: same artifacts as the context-free entry point.
+func TestCompileContextBackground(t *testing.T) {
+	src := progen.Generate(2, progen.Options{Procs: 4})
+	want := MustCompile(src, Options{Procs: 4, Level: LevelOneWay})
+	got, err := CompileContext(context.Background(), src, Options{Procs: 4, Level: LevelOneWay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Target.String() != want.Target.String() {
+		t.Fatal("CompileContext(Background) differs from Compile")
+	}
+	if got.Analysis.D.Size() != want.Analysis.D.Size() {
+		t.Fatal("analysis differs between context and plain compile")
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,59 @@ func workerCount(n int) int {
 	return w
 }
 
+// Pool is a bounded worker pool: a fixed set of goroutines draining an
+// unbuffered task channel. Submission blocks until a worker is free, so a
+// Pool is also a concurrency limiter — callers feel backpressure instead
+// of piling up goroutines. The batch grids (forIndexed) and the serving
+// daemon (internal/serve) share this one executor: the grids hand it
+// index-claiming loops, the daemon hands it whole requests.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	size  int
+}
+
+// NewPool starts a pool of the given width. Non-positive means one worker
+// per available CPU.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{tasks: make(chan func()), size: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// Size returns the pool's worker count.
+func (p *Pool) Size() int { return p.size }
+
+// Submit hands fn to a worker, blocking until one accepts it or ctx is
+// done. The returned error is ctx.Err() when the caller gave up waiting;
+// fn has not been started in that case and never will be.
+func (p *Pool) Submit(ctx context.Context, fn func()) error {
+	select {
+	case p.tasks <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting work and waits for in-flight tasks to finish.
+// Submitting after Close panics.
+func (p *Pool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
 // forIndexed runs fn(i) for every i in [0,n) on a bounded worker pool.
 // Workers claim indices from an atomic counter, so cells start in index
 // order; the caller's fn writes results into its own index-addressed
@@ -49,11 +103,9 @@ func forIndexed(n int, fn func(i int) error) error {
 	}
 	errs := make([]error, n)
 	next := int64(-1)
-	var wg sync.WaitGroup
+	p := NewPool(w)
 	for k := 0; k < w; k++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		_ = p.Submit(context.Background(), func() { // Background ctx: cannot fail
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -61,9 +113,9 @@ func forIndexed(n int, fn func(i int) error) error {
 				}
 				errs[i] = fn(i)
 			}
-		}()
+		})
 	}
-	wg.Wait()
+	p.Close()
 	for _, err := range errs {
 		if err != nil {
 			return err

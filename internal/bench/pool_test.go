@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolBoundedConcurrency pins the pool's core property: at most
+// `workers` tasks run at once, regardless of how many are submitted.
+func TestPoolBoundedConcurrency(t *testing.T) {
+	const workers, tasks = 3, 24
+	p := NewPool(workers)
+	defer p.Close()
+	if p.Size() != workers {
+		t.Fatalf("Size = %d, want %d", p.Size(), workers)
+	}
+	var running, peak, done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		if err := p.Submit(context.Background(), func() {
+			defer wg.Done()
+			n := running.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			done.Add(1)
+		}); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	wg.Wait()
+	if done.Load() != tasks {
+		t.Fatalf("completed %d tasks, want %d", done.Load(), tasks)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", got, workers)
+	}
+}
+
+// TestPoolSubmitCanceled pins backpressure: when every worker is busy,
+// Submit blocks, and a canceled context releases the caller with the
+// context's error instead of queueing the task.
+func TestPoolSubmitCanceled(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Submit(context.Background(), func() { defer wg.Done(); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := p.Submit(ctx, func() { t.Error("task ran despite canceled submit") })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Submit on busy pool = %v, want deadline exceeded", err)
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestPoolDefaultSize pins the zero-value behavior.
+func TestPoolDefaultSize(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Size() < 1 {
+		t.Fatalf("default Size = %d, want >= 1", p.Size())
+	}
+}
+
+// TestPoolCloseWaits pins shutdown: Close returns only after accepted
+// tasks finish.
+func TestPoolCloseWaits(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Int64
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(context.Background(), func() {
+			time.Sleep(2 * time.Millisecond)
+			done.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if done.Load() != 4 {
+		t.Fatalf("Close returned with %d/4 tasks done", done.Load())
+	}
+}

@@ -17,6 +17,8 @@
 package pass
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sort"
 	"time"
@@ -87,6 +89,12 @@ type Context struct {
 	Source string
 	// Config selects the pipeline behavior (input).
 	Config Config
+	// Ctx carries the compilation's cancellation/deadline signal (input;
+	// nil means Background). The pipeline checks it at every pass
+	// boundary, so a canceled compile stops within one pass of the
+	// signal — the granularity servers need to shed timed-out requests
+	// without threading a context through every analysis loop.
+	Ctx context.Context
 
 	// AST is set by "parse".
 	AST *source.Program
@@ -196,6 +204,15 @@ func (pl *Pipeline) Run(ctx *Context) ([]Stat, error) {
 	stats := make([]Stat, 0, len(pl.Passes))
 	var m0, m1 runtime.MemStats
 	for _, p := range pl.Passes {
+		if c := ctx.Ctx; c != nil {
+			if cerr := c.Err(); cerr != nil {
+				ctx.Errorf(p.Name(), source.Pos{}, "compilation aborted: %v", cerr)
+				// Wrap the context cause so callers can errors.Is on
+				// DeadlineExceeded/Canceled; the diag above keeps the
+				// pass attribution.
+				return stats, fmt.Errorf("compilation aborted before %s: %w", p.Name(), cerr)
+			}
+		}
 		ctx.counters = nil
 		if pl.MeasureAllocs {
 			runtime.ReadMemStats(&m0)

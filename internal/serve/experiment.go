@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/progen"
+)
+
+// LatencyRow is one program's cold/hot service latency measurement for
+// the pscbench -exp serve table.
+type LatencyRow struct {
+	Name    string  `json:"name"`
+	Procs   int     `json:"procs"`
+	ColdMs  float64 `json:"cold_ms"`
+	HotMs   float64 `json:"hot_ms"`
+	Speedup float64 `json:"speedup"`
+}
+
+// RunLatencyExperiment measures end-to-end cold-cache and hot-cache
+// compile latency through the full service stack (HTTP round trip,
+// singleflight, artifact cache) for the standard load mix. Cold requests
+// vary the source by a trailing comment so every one computes; hot
+// requests repeat one request byte-identically. The reported figure is
+// the median over samples. The caller supplies the client (usually
+// client.New against an in-process httptest server) — the same
+// inversion RunLoad uses, since the client package imports this one.
+func RunLatencyExperiment(c Compiler, procs, seeds, samples int) ([]LatencyRow, error) {
+	if samples <= 0 {
+		samples = 5
+	}
+	ctx := context.Background()
+
+	// The standard mix, plus one deliberately heavy generated program
+	// (hundreds of shared accesses) where compilation, not HTTP overhead,
+	// dominates — the case the cache exists for.
+	mix := append(LoadMix(procs, seeds), LoadProgram{
+		Name: "gen-heavy",
+		Source: progen.Generate(7, progen.Options{
+			Procs: 8, MaxPhases: 20, MaxStmts: 16, MaxDepth: 4, Arrays: 6, Scalars: 6,
+		}),
+	})
+	var rows []LatencyRow
+	for _, p := range mix {
+		cold := make([]float64, 0, samples)
+		for i := 0; i < samples; i++ {
+			req := &CompileRequest{
+				Source: fmt.Sprintf("%s\n// cold %d\n", p.Source, i),
+				Procs:  procs, Level: "oneway",
+			}
+			start := time.Now()
+			resp, err := c.Compile(ctx, req)
+			if err != nil {
+				return nil, fmt.Errorf("%s cold: %w", p.Name, err)
+			}
+			if resp.Cached {
+				return nil, fmt.Errorf("%s cold request %d was cached", p.Name, i)
+			}
+			cold = append(cold, float64(time.Since(start))/1e6)
+		}
+		hotReq := &CompileRequest{Source: p.Source, Procs: procs, Level: "oneway"}
+		if _, err := c.Compile(ctx, hotReq); err != nil {
+			return nil, fmt.Errorf("%s prime: %w", p.Name, err)
+		}
+		hot := make([]float64, 0, samples)
+		for i := 0; i < samples; i++ {
+			start := time.Now()
+			resp, err := c.Compile(ctx, hotReq)
+			if err != nil {
+				return nil, fmt.Errorf("%s hot: %w", p.Name, err)
+			}
+			if !resp.Cached {
+				return nil, fmt.Errorf("%s hot request %d missed the cache", p.Name, i)
+			}
+			hot = append(hot, float64(time.Since(start))/1e6)
+		}
+		row := LatencyRow{Name: p.Name, Procs: procs, ColdMs: median(cold), HotMs: median(hot)}
+		if row.HotMs > 0 {
+			row.Speedup = row.ColdMs / row.HotMs
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatLatency renders the serve experiment as a pscbench table.
+func FormatLatency(rows []LatencyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Service compile latency (cold cache vs hot cache, median, %d procs)\n", rows[0].Procs)
+	fmt.Fprintf(&b, "%-12s %10s %10s %9s\n", "program", "cold ms", "hot ms", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10.2f %10.2f %8.1fx\n", r.Name, r.ColdMs, r.HotMs, r.Speedup)
+	}
+	return b.String()
+}
+
+// LatencyJSON is the machine-readable form for -json emission.
+func LatencyJSON(rows []LatencyRow) any {
+	return map[string]any{"experiment": "serve", "rows": rows}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/delay"
+)
+
+// TestKeyIDDistinguishesTuple pins the cache-key soundness requirement:
+// any single-field difference in the tuple — same source fingerprint
+// included — must produce a distinct content address.
+func TestKeyIDDistinguishesTuple(t *testing.T) {
+	base := Key{Kind: "compile", Fingerprint: SourceFingerprint("prog"), Procs: 8,
+		Machine: "cm5", Level: "oneway"}
+	variants := []struct {
+		name string
+		mut  func(k Key) Key
+	}{
+		{"kind", func(k Key) Key { k.Kind = "analyze"; return k }},
+		{"fingerprint", func(k Key) Key { k.Fingerprint = SourceFingerprint("prog "); return k }},
+		{"procs", func(k Key) Key { k.Procs = 16; return k }},
+		{"machine", func(k Key) Key { k.Machine = "t3d"; return k }},
+		{"level", func(k Key) Key { k.Level = "pipelined"; return k }},
+		{"passes", func(k Key) Key { k.Passes = "parse,check"; return k }},
+		{"cse", func(k Key) Key { k.CSE = true; return k }},
+		{"exact", func(k Key) Key { k.Exact = true; return k }},
+		{"weaken", func(k Key) Key { k.Weaken = "0-1"; return k }},
+		{"extra", func(k Key) Key { k.Extra = "sched=4"; return k }},
+	}
+	seen := map[string]string{base.ID(): "base"}
+	for _, v := range variants {
+		id := v.mut(base).ID()
+		if prev, dup := seen[id]; dup {
+			t.Errorf("variant %q collides with %q", v.name, prev)
+		}
+		seen[id] = v.name
+	}
+	if got := base.ID(); got != base.ID() {
+		t.Errorf("ID not deterministic")
+	}
+}
+
+// TestKeyIDFieldBoundaries guards the length-prefixed encoding: moving
+// a character across a field boundary must change the address.
+func TestKeyIDFieldBoundaries(t *testing.T) {
+	a := Key{Kind: "compile", Level: "one", Passes: "way"}
+	b := Key{Kind: "compile", Level: "onew", Passes: "ay"}
+	if a.ID() == b.ID() {
+		t.Fatalf("field boundary collision: %q/%q vs %q/%q", a.Level, a.Passes, b.Level, b.Passes)
+	}
+}
+
+func TestCanonicalWeaken(t *testing.T) {
+	a := CanonicalWeaken([]delay.Pair{{A: 3, B: 4}, {A: 0, B: 1}})
+	b := CanonicalWeaken([]delay.Pair{{A: 0, B: 1}, {A: 3, B: 4}})
+	if a != b || a != "0-1,3-4" {
+		t.Fatalf("canonicalization failed: %q vs %q", a, b)
+	}
+	if CanonicalWeaken(nil) != "" {
+		t.Fatalf("empty weaken must canonicalize to empty string")
+	}
+}
+
+func TestKeyShort(t *testing.T) {
+	k := Key{Kind: "compile"}
+	if s := k.Short(); len(s) != 12 || !strings.HasPrefix(k.ID(), s) {
+		t.Fatalf("Short() = %q, want 12-char prefix of %q", s, k.ID())
+	}
+}

@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/progen"
+)
+
+// LoadProgram is one program of the load mix.
+type LoadProgram struct {
+	Name   string
+	Source string
+}
+
+// LoadMix builds the standard request mix for procs processors: the five
+// app kernels at scale 1 plus seeds generated programs. Deterministic, so
+// repeated load runs (and the CI smoke) exercise identical traffic.
+func LoadMix(procs, seeds int) []LoadProgram {
+	var mix []LoadProgram
+	for _, k := range apps.All() {
+		mix = append(mix, LoadProgram{Name: k.Name, Source: k.Source(procs, 1)})
+	}
+	for s := 0; s < seeds; s++ {
+		mix = append(mix, LoadProgram{
+			Name:   fmt.Sprintf("progen%d", s),
+			Source: progen.Generate(int64(s), progen.Options{Procs: procs}),
+		})
+	}
+	return mix
+}
+
+// LoadConfig configures a load run.
+type LoadConfig struct {
+	// Clients is the number of concurrent clients (default 8).
+	Clients int
+	// Requests is the total request budget across clients; 0 means run
+	// until Duration elapses.
+	Requests int
+	// Duration bounds the run when Requests is 0 (default 5s).
+	Duration time.Duration
+	// Mix is the program mix (default LoadMix(Procs, 8)).
+	Mix []LoadProgram
+	// Procs/Machine/Level shape every request.
+	Procs   int
+	Machine string
+	Level   string
+	// AnalyzeEvery interleaves one /v1/analyze request per N compiles
+	// (0: compiles only).
+	AnalyzeEvery int
+}
+
+// Compiler is the request surface the load generator drives — implemented
+// by client.Client. Declaring the interface here keeps serve free of an
+// import cycle with its own client package.
+type Compiler interface {
+	Compile(ctx context.Context, req *CompileRequest) (*CompileResponse, error)
+	Analyze(ctx context.Context, req *AnalyzeRequest) (*AnalyzeResponse, error)
+}
+
+// LoadResult aggregates one load run.
+type LoadResult struct {
+	Clients   int           `json:"clients"`
+	Requests  int           `json:"requests"`
+	Errors    int           `json:"errors"`
+	CacheHits int           `json:"cache_hits"`
+	Dedups    int           `json:"dedups"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	// Throughput is completed requests per second.
+	Throughput float64 `json:"throughput_rps"`
+	// HitRate is CacheHits / successful requests.
+	HitRate float64 `json:"hit_rate"`
+	// Latency percentiles over successful requests.
+	P50, P90, P99, Max time.Duration `json:"-"`
+	P50Ms              float64       `json:"p50_ms"`
+	P90Ms              float64       `json:"p90_ms"`
+	P99Ms              float64       `json:"p99_ms"`
+	MaxMs              float64       `json:"max_ms"`
+	// FirstErr samples the first error for diagnosis.
+	FirstErr string `json:"first_err,omitempty"`
+}
+
+// RunLoad drives cfg.Clients concurrent clients over the program mix and
+// aggregates throughput, latency percentiles, and cache behavior. Client
+// i starts at offset i into the mix, so the mix's programs are all in
+// flight early and identical in-flight requests genuinely collide (the
+// singleflight path, not just the cache path).
+func RunLoad(ctx context.Context, c Compiler, cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Requests <= 0 && cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 8
+	}
+	if cfg.Machine == "" {
+		cfg.Machine = "cm5"
+	}
+	if cfg.Level == "" {
+		cfg.Level = "oneway"
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = LoadMix(cfg.Procs, 8)
+	}
+
+	deadline := ctx
+	var cancel context.CancelFunc
+	if cfg.Duration > 0 && cfg.Requests <= 0 {
+		deadline, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+
+	type sample struct {
+		lat           time.Duration
+		cached, dedup bool
+		err           error
+	}
+	var mu sync.Mutex
+	var samples []sample
+
+	var budgetLeft func() bool
+	if cfg.Requests > 0 {
+		n := cfg.Requests
+		budgetLeft = func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if n == 0 {
+				return false
+			}
+			n--
+			return true
+		}
+	} else {
+		budgetLeft = func() bool { return deadline.Err() == nil }
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := cl; budgetLeft(); i++ {
+				prog := cfg.Mix[i%len(cfg.Mix)]
+				t0 := time.Now()
+				var s sample
+				if cfg.AnalyzeEvery > 0 && i%cfg.AnalyzeEvery == cfg.AnalyzeEvery-1 {
+					resp, err := c.Analyze(deadline, &AnalyzeRequest{
+						Source: prog.Source, Procs: cfg.Procs, Machine: cfg.Machine, Level: cfg.Level,
+					})
+					s = sample{lat: time.Since(t0), err: err}
+					if err == nil {
+						s.cached, s.dedup = resp.Cached, resp.Dedup
+					}
+				} else {
+					resp, err := c.Compile(deadline, &CompileRequest{
+						Source: prog.Source, Procs: cfg.Procs, Machine: cfg.Machine, Level: cfg.Level,
+					})
+					s = sample{lat: time.Since(t0), err: err}
+					if err == nil {
+						s.cached, s.dedup = resp.Cached, resp.Dedup
+					}
+				}
+				// A request cut off by the run deadline is not a server
+				// error; drop it rather than misreport.
+				if s.err != nil && deadline.Err() != nil && ctx.Err() == nil {
+					return
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadResult{Clients: cfg.Clients, Elapsed: elapsed}
+	var lats []time.Duration
+	for _, s := range samples {
+		res.Requests++
+		if s.err != nil {
+			res.Errors++
+			if res.FirstErr == "" {
+				res.FirstErr = s.err.Error()
+			}
+			continue
+		}
+		if s.cached {
+			res.CacheHits++
+		}
+		if s.dedup {
+			res.Dedups++
+		}
+		lats = append(lats, s.lat)
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Requests-res.Errors) / elapsed.Seconds()
+	}
+	if ok := res.Requests - res.Errors; ok > 0 {
+		res.HitRate = float64(res.CacheHits) / float64(ok)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		res.P50, res.P90, res.P99, res.Max = pct(0.50), pct(0.90), pct(0.99), lats[len(lats)-1]
+		res.P50Ms = float64(res.P50.Microseconds()) / 1000
+		res.P90Ms = float64(res.P90.Microseconds()) / 1000
+		res.P99Ms = float64(res.P99.Microseconds()) / 1000
+		res.MaxMs = float64(res.Max.Microseconds()) / 1000
+	}
+	return res, nil
+}
+
+// Format renders the run for terminals.
+func (r *LoadResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: %d clients, %d requests in %v (%.1f req/s)\n",
+		r.Clients, r.Requests, r.Elapsed.Round(time.Millisecond), r.Throughput)
+	fmt.Fprintf(&b, "cache: %d hits, %d dedups, hit rate %.1f%%\n",
+		r.CacheHits, r.Dedups, 100*r.HitRate)
+	fmt.Fprintf(&b, "latency: p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		r.P50Ms, r.P90Ms, r.P99Ms, r.MaxMs)
+	fmt.Fprintf(&b, "errors: %d", r.Errors)
+	if r.FirstErr != "" {
+		fmt.Fprintf(&b, " (first: %s)", r.FirstErr)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

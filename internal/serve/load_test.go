@@ -1,0 +1,82 @@
+package serve_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// TestRunLoad drives the load generator against an in-process server:
+// every request must succeed, and the repeated mix must produce cache
+// hits.
+func TestRunLoad(t *testing.T) {
+	s := serve.New(serve.Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		s.Close()
+	}()
+	c := client.New(hs.URL, client.WithHTTPClient(hs.Client()))
+
+	res, err := serve.RunLoad(context.Background(), c, serve.LoadConfig{
+		Clients:      8,
+		Requests:     64,
+		Mix:          serve.LoadMix(8, 3),
+		Procs:        8,
+		Machine:      "cm5",
+		Level:        "oneway",
+		AnalyzeEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run had %d errors, first: %s", res.Errors, res.FirstErr)
+	}
+	if res.Requests != 64 {
+		t.Fatalf("completed %d requests, want 64", res.Requests)
+	}
+	// 8 programs in the mix, 64 requests: most are repeats and must hit.
+	if res.HitRate <= 0 {
+		t.Fatalf("hit rate %.2f, want > 0", res.HitRate)
+	}
+	if res.Throughput <= 0 || res.P50Ms < 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("implausible latency stats: %+v", res)
+	}
+	if res.Format() == "" {
+		t.Fatal("empty Format()")
+	}
+}
+
+// TestRunLoadDuration exercises the duration-bounded mode.
+func TestRunLoadDuration(t *testing.T) {
+	s := serve.New(serve.Config{})
+	hs := httptest.NewServer(s.Handler())
+	defer func() {
+		hs.Close()
+		s.Close()
+	}()
+	c := client.New(hs.URL, client.WithHTTPClient(hs.Client()))
+
+	res, err := serve.RunLoad(context.Background(), c, serve.LoadConfig{
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+		Mix:      serve.LoadMix(8, 1),
+		Procs:    8,
+		Machine:  "cm5",
+		Level:    "oneway",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run had %d errors, first: %s", res.Errors, res.FirstErr)
+	}
+	if res.Requests == 0 {
+		t.Fatal("duration-bounded run completed no requests")
+	}
+}

@@ -1,0 +1,397 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/progen"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// newTestServer starts an in-process daemon over httptest and returns a
+// client for it.
+func newTestServer(t *testing.T, cfg serve.Config) (*serve.Server, *client.Client) {
+	t.Helper()
+	s := serve.New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, client.New(hs.URL, client.WithHTTPClient(hs.Client()))
+}
+
+// slowSource is a program whose compile takes tens of milliseconds — big
+// enough that a small request deadline reliably expires mid-pipeline.
+func slowSource() string {
+	return progen.Generate(7, progen.Options{
+		Procs: 8, MaxPhases: 20, MaxStmts: 16, MaxDepth: 4, Arrays: 6, Scalars: 6,
+	})
+}
+
+// TestCompileMatchesDirect pins the service against the library: the
+// served target code and delay counts must equal a direct splitc.Compile.
+func TestCompileMatchesDirect(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	for _, k := range apps.All() {
+		src := k.Source(8, 1)
+		for _, lvl := range []string{"blocking", "pipelined", "oneway"} {
+			resp, err := c.Compile(context.Background(), &serve.CompileRequest{
+				Source: src, Procs: 8, Level: lvl,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", k.Name, lvl, err)
+			}
+			level, _ := splitc.ParseLevel(lvl)
+			want := splitc.MustCompile(src, splitc.Options{Procs: 8, Level: level})
+			if resp.Target != want.Target.String() {
+				t.Errorf("%s/%s: served target differs from direct compile", k.Name, lvl)
+			}
+			if resp.DelayPairs != want.Analysis.D.Size() {
+				t.Errorf("%s/%s: delay pairs %d, want %d", k.Name, lvl, resp.DelayPairs, want.Analysis.D.Size())
+			}
+			if resp.Cached {
+				t.Errorf("%s/%s: first request reported cached", k.Name, lvl)
+			}
+			if len(resp.Passes) == 0 {
+				t.Errorf("%s/%s: no pass stats in response", k.Name, lvl)
+			}
+		}
+	}
+}
+
+// TestCompileCacheHit pins the hit path: an identical second request is
+// served from the artifact cache byte-identically, and a request
+// differing in any tuple field misses.
+func TestCompileCacheHit(t *testing.T) {
+	s, c := newTestServer(t, serve.Config{})
+	req := &serve.CompileRequest{Source: apps.EM3D().Source(8, 1), Procs: 8, Level: "oneway"}
+	first, err := c.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached || second.Key != first.Key {
+		t.Fatalf("second request: cached=%v key match=%v", second.Cached, second.Key == first.Key)
+	}
+	if second.Target != first.Target || second.DelayPairs != first.DelayPairs {
+		t.Fatal("cached artifact differs from original")
+	}
+	// Same source, different level: distinct artifact.
+	third, err := c.Compile(context.Background(), &serve.CompileRequest{
+		Source: req.Source, Procs: 8, Level: "blocking",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached || third.Key == first.Key {
+		t.Fatalf("level change: cached=%v, keys equal=%v", third.Cached, third.Key == first.Key)
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/2", st.CacheHits, st.CacheMisses)
+	}
+}
+
+// TestConcurrentIdenticalRequests pins the concurrency contract: many
+// identical requests in flight produce one computation; everyone else is
+// served by the cache or the singleflight leader, with no errors.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	s, c := newTestServer(t, serve.Config{Workers: 2})
+	req := &serve.CompileRequest{Source: slowSource(), Procs: 8, Level: "oneway"}
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	resps := make([]*serve.CompileResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.Compile(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if resps[i].Target != resps[0].Target {
+			t.Fatalf("request %d returned different target code", i)
+		}
+	}
+	st := s.Stats()
+	// Executions = misses - dedups. The tiny window between a leader's
+	// cache fill and its singleflight de-registration permits a rare
+	// extra leader; what must never happen is one execution per request.
+	executions := st.CacheMisses - st.DedupHits
+	if executions < 1 || executions > n/4 {
+		t.Fatalf("executions = %d (misses=%d dedups=%d hits=%d), want 1..%d",
+			executions, st.CacheMisses, st.DedupHits, st.CacheHits, n/4)
+	}
+	if st.CacheHits+st.DedupHits+st.CacheMisses < n {
+		t.Fatalf("accounting: hits=%d dedups=%d misses=%d < %d requests",
+			st.CacheHits, st.DedupHits, st.CacheMisses, n)
+	}
+}
+
+// TestRequestTimeout pins deadline behavior: a request whose timeout_ms
+// is far below its compile cost gets 504, the pipeline aborts at a pass
+// boundary, and the same request with a sane deadline then succeeds.
+func TestRequestTimeout(t *testing.T) {
+	s, c := newTestServer(t, serve.Config{})
+	req := &serve.CompileRequest{Source: slowSource(), Procs: 8, Level: "oneway", TimeoutMs: 1}
+	_, err := c.Compile(context.Background(), req)
+	if !client.IsTimeout(err) {
+		t.Fatalf("err = %v, want request-timeout", err)
+	}
+	if st := s.Stats(); st.Timeouts != 1 {
+		t.Fatalf("Timeouts = %d, want 1", st.Timeouts)
+	}
+	// A failed compute must not have poisoned the cache.
+	req.TimeoutMs = 0
+	resp, err := c.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("timed-out request must not leave a cached artifact")
+	}
+}
+
+// TestDrain pins shutdown behavior: a draining server answers 503 and the
+// client classifies it.
+func TestDrain(t *testing.T) {
+	s, c := newTestServer(t, serve.Config{})
+	if _, err := c.Compile(context.Background(), &serve.CompileRequest{
+		Source: apps.EM3D().Source(8, 1), Procs: 8, Level: "oneway",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetDraining()
+	_, err := c.Compile(context.Background(), &serve.CompileRequest{
+		Source: apps.EM3D().Source(8, 1), Procs: 8, Level: "oneway",
+	})
+	if !client.IsDraining(err) {
+		t.Fatalf("err = %v, want draining 503", err)
+	}
+	// Stats stay reachable during drain.
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("stats during drain: %v", err)
+	}
+}
+
+// TestRequestSizeLimit pins the body bound.
+func TestRequestSizeLimit(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{MaxRequestBytes: 1024})
+	_, err := c.Compile(context.Background(), &serve.CompileRequest{
+		Source: strings.Repeat("// padding\n", 200), Procs: 8, Level: "oneway",
+	})
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400", err)
+	}
+}
+
+// TestBadRequests pins validation: empty source, bad procs, unknown
+// level/machine all answer 400 with a JSON error.
+func TestBadRequests(t *testing.T) {
+	s, c := newTestServer(t, serve.Config{})
+	cases := []*serve.CompileRequest{
+		{Source: "", Procs: 8},
+		{Source: "x := 1;", Procs: 0},
+		{Source: "x := 1;", Procs: 8, Level: "turbo"},
+		{Source: "x := 1;", Procs: 8, Machine: "cray-3"},
+	}
+	for i, req := range cases {
+		_, err := c.Compile(context.Background(), req)
+		var ae *client.APIError
+		if !asAPIError(err, &ae) || ae.Status != http.StatusBadRequest {
+			t.Errorf("case %d: err = %v, want 400", i, err)
+		}
+	}
+	// A syntactically broken program is a 422 (the pipeline ran and
+	// rejected it), not a 400.
+	_, err := c.Compile(context.Background(), &serve.CompileRequest{Source: "for (", Procs: 8})
+	var ae *client.APIError
+	if !asAPIError(err, &ae) || ae.Status != http.StatusUnprocessableEntity {
+		t.Errorf("parse error: %v, want 422", err)
+	}
+	if st := s.Stats(); st.Errors != int64(len(cases))+1 {
+		t.Errorf("Errors = %d, want %d", st.Errors, len(cases)+1)
+	}
+}
+
+// TestAnalyzeEndpoint pins /v1/analyze against the library analysis.
+func TestAnalyzeEndpoint(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	src := apps.Ocean().Source(8, 1)
+	resp, err := c.Analyze(context.Background(), &serve.AnalyzeRequest{Source: src, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := splitc.MustCompile(src, splitc.Options{Procs: 8, Level: splitc.LevelOneWay})
+	if resp.DelayPairs != want.Analysis.D.Size() || resp.BaselinePairs != want.Analysis.Baseline.Size() {
+		t.Fatalf("analyze D=%d baseline=%d, want %d/%d",
+			resp.DelayPairs, resp.BaselinePairs, want.Analysis.D.Size(), want.Analysis.Baseline.Size())
+	}
+	if resp.Accesses == 0 || resp.Summary == "" {
+		t.Fatalf("analyze missing accesses/summary: %+v", resp.AnalyzeResult)
+	}
+	// Analyze and compile artifacts of the same program are distinct.
+	cresp, err := c.Compile(context.Background(), &serve.CompileRequest{Source: src, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cresp.Key == resp.Key {
+		t.Fatal("compile and analyze share a content address")
+	}
+	second, err := c.Analyze(context.Background(), &serve.AnalyzeRequest{Source: src, Procs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second analyze not cached")
+	}
+}
+
+// TestVerifyEndpoint pins /v1/verify: a clean program passes, a weakened
+// compile of a racy idiom is flagged with a violation.
+func TestVerifyEndpoint(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{DefaultTimeout: 2 * time.Minute})
+	src := apps.EM3D().Source(4, 1)
+	resp, err := c.Verify(context.Background(), &serve.VerifyRequest{
+		Source: src, Procs: 4, Schedules: 2, Deterministic: true, Levels: []string{"oneway"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Runs == 0 {
+		t.Fatalf("clean program: ok=%v runs=%d violations=%v outcome=%v",
+			resp.OK, resp.Runs, resp.Violations, resp.OutcomeErrs)
+	}
+	second, err := c.Verify(context.Background(), &serve.VerifyRequest{
+		Source: src, Procs: 4, Schedules: 2, Deterministic: true, Levels: []string{"oneway"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second verify not cached")
+	}
+}
+
+// TestStatsEndpoint pins the stats surface.
+func TestStatsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{Workers: 3})
+	if _, err := c.Compile(context.Background(), &serve.CompileRequest{
+		Source: apps.Cholesky().Source(8, 1), Procs: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 3 || st.Requests["compile"] != 1 || st.StoreLen != 1 || st.StoreBytes == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !c.Healthy(context.Background()) {
+		t.Fatal("healthz failed")
+	}
+}
+
+// TestDiskBackedServer runs the hit path over the disk store, including a
+// daemon restart: a new server over the same cache directory serves the
+// old server's artifacts.
+func TestDiskBackedServer(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := serve.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c := newTestServer(t, serve.Config{Store: ds})
+	req := &serve.CompileRequest{Source: apps.Health().Source(8, 1), Procs: 8, Level: "pipelined"}
+	first, err := c.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := serve.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, c2 := newTestServer(t, serve.Config{Store: ds2})
+	resp, err := c2.Compile(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached || resp.Target != first.Target {
+		t.Fatalf("restarted server: cached=%v target match=%v", resp.Cached, resp.Target == first.Target)
+	}
+}
+
+// TestLoggerOutput smoke-tests the structured request log.
+func TestLoggerOutput(t *testing.T) {
+	var buf lockedBuffer
+	logger := log.New(&buf, "", 0)
+	_, c := newTestServer(t, serve.Config{Logger: logger})
+	if _, err := c.Compile(context.Background(), &serve.CompileRequest{
+		Source: apps.EM3D().Source(8, 1), Procs: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"endpoint":"compile"`, `"cache":"miss"`, `"status":200`, `"pass_ms"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %s: %s", want, out)
+		}
+	}
+}
+
+// TestMachineRegistryAccepted accepts every registered cost model.
+func TestMachineRegistryAccepted(t *testing.T) {
+	_, c := newTestServer(t, serve.Config{})
+	for _, name := range machine.Names() {
+		if _, err := c.Compile(context.Background(), &serve.CompileRequest{
+			Source: apps.EM3D().Source(8, 1), Procs: 8, Machine: name,
+		}); err != nil {
+			t.Errorf("machine %s: %v", name, err)
+		}
+	}
+}
+
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+func asAPIError(err error, target **client.APIError) bool {
+	return errors.As(err, target)
+}

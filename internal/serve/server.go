@@ -1,0 +1,557 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/bench"
+	"repro/internal/diag"
+	"repro/internal/machine"
+	"repro/internal/pass"
+	"repro/internal/scverify"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds concurrent pipeline executions (non-positive: one
+	// per CPU). HTTP handling itself is unbounded; only the expensive
+	// compile/analyze/verify work queues on the pool, so /v1/stats stays
+	// responsive under load.
+	Workers int
+	// Store is the artifact cache backend (nil: NewMemStore(0)).
+	Store Store
+	// MaxRequestBytes bounds a request body (non-positive: 8 MiB).
+	MaxRequestBytes int64
+	// DefaultTimeout bounds a request that names no timeout_ms
+	// (non-positive: 30s). MaxTimeout caps what a request may ask for
+	// (non-positive: 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Logger receives one structured (JSON) line per completed request;
+	// nil disables request logging.
+	Logger *log.Logger
+}
+
+// Server implements the pscd endpoints over an artifact cache, a
+// singleflight group, and a bounded worker pool. Create with New, expose
+// via Handler, and Close when done.
+type Server struct {
+	cfg    Config
+	store  Store
+	pool   *bench.Pool
+	flight flightGroup
+	mux    *http.ServeMux
+	start  time.Time
+
+	reqMu    sync.Mutex
+	requests map[string]int64
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	dedups   atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+}
+
+// New creates a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore(0)
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 8 << 20
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 2 * time.Minute
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    cfg.Store,
+		pool:     bench.NewPool(cfg.Workers),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		requests: make(map[string]int64),
+	}
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool after in-flight tasks finish and closes the
+// store. Call after the HTTP server has drained.
+func (s *Server) Close() {
+	s.pool.Close()
+	s.store.Close()
+}
+
+// SetDraining marks the server as draining: new requests are refused with
+// 503 while in-flight ones complete. cmd/pscd flips this on SIGTERM
+// before http.Server.Shutdown, so load balancers and the load generator
+// observe a clean drain instead of connection resets.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() StatsResponse {
+	s.reqMu.Lock()
+	reqs := make(map[string]int64, len(s.requests))
+	for k, v := range s.requests {
+		reqs[k] = v
+	}
+	s.reqMu.Unlock()
+	return StatsResponse{
+		UptimeSec:   time.Since(s.start).Seconds(),
+		Workers:     s.pool.Size(),
+		Requests:    reqs,
+		CacheHits:   s.hits.Load(),
+		CacheMisses: s.misses.Load(),
+		DedupHits:   s.dedups.Load(),
+		Errors:      s.errors.Load(),
+		Timeouts:    s.timeouts.Load(),
+		InFlight:    s.inflight.Load(),
+		StoreLen:    s.store.Len(),
+		StoreBytes:  s.store.SizeBytes(),
+	}
+}
+
+func (s *Server) countRequest(endpoint string) {
+	s.reqMu.Lock()
+	s.requests[endpoint]++
+	s.reqMu.Unlock()
+}
+
+// logRequest emits one structured JSON line per completed request.
+// passNs attributes the artifact's per-pass wall time (nil for cache
+// hits and non-compile endpoints).
+func (s *Server) logRequest(endpoint, key, cache string, status int, elapsed time.Duration, passes []PassStat) {
+	if s.cfg.Logger == nil {
+		return
+	}
+	entry := map[string]any{
+		"endpoint":   endpoint,
+		"key":        key,
+		"cache":      cache,
+		"status":     status,
+		"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
+	}
+	if len(passes) > 0 {
+		pw := make(map[string]float64, len(passes))
+		for _, p := range passes {
+			pw[p.Name] = float64(p.WallNs) / 1e6
+		}
+		entry["pass_ms"] = pw
+	}
+	b, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	s.cfg.Logger.Print(string(b))
+}
+
+// writeError answers with a JSON error body.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// errStatus maps an execution error to an HTTP status: deadline/cancel to
+// 504, queue-full/drain to 503, everything else (compile errors) to 422.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// decode reads and unmarshals a size-limited request body.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return err
+	}
+	return json.Unmarshal(body, into)
+}
+
+// serveCached executes one cacheable request end to end: cache lookup,
+// singleflight, pool execution under the request deadline, cache fill.
+// compute runs on a pool worker and must honor ctx. The returned body is
+// the cached artifact; cached/dedup report how it was obtained.
+func (s *Server) serveCached(ctx context.Context, id string, compute func(ctx context.Context) ([]byte, error)) (body []byte, cached, dedup bool, err error) {
+	// A backend error degrades to compute-always — a sick store must not
+	// take the service down — so any non-hit is a miss.
+	if body, ok, gerr := s.store.Get(id); gerr == nil && ok {
+		s.hits.Add(1)
+		return body, true, false, nil
+	}
+	s.misses.Add(1)
+	body, shared, err := s.flight.Do(ctx, id, func() ([]byte, error) {
+		out := make(chan struct{})
+		var b []byte
+		var cerr error
+		if serr := s.pool.Submit(ctx, func() {
+			defer close(out)
+			b, cerr = compute(ctx)
+		}); serr != nil {
+			return nil, serr
+		}
+		// The worker always finishes (compute aborts at the next pass
+		// boundary once ctx expires); waiting for it keeps the artifact
+		// fill and the bounded-concurrency invariant intact.
+		<-out
+		if cerr != nil {
+			return nil, cerr
+		}
+		if perr := s.store.Put(id, b); perr != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Printf(`{"event":"store_put_error","key":%q,"error":%q}`, id, perr.Error())
+		}
+		return b, nil
+	})
+	if shared && err == nil {
+		s.dedups.Add(1)
+	}
+	return body, false, shared, err
+}
+
+// handleCompile serves /v1/compile.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.countRequest("compile")
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	var req CompileRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		s.logRequest("compile", "", "reject", http.StatusBadRequest, time.Since(start), nil)
+		return
+	}
+	opts, key, err := normalizeCompile(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		s.logRequest("compile", "", "reject", http.StatusBadRequest, time.Since(start), nil)
+		return
+	}
+	id := key.ID()
+	ctx, cancel := context.WithTimeout(r.Context(), clampTimeout(req.TimeoutMs, s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	body, cached, dedup, err := s.serveCached(ctx, id, func(ctx context.Context) ([]byte, error) {
+		res, err := compileResult(ctx, req.Source, opts, req.Passes)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		status := errStatus(err)
+		if status == http.StatusGatewayTimeout {
+			s.timeouts.Add(1)
+		}
+		s.writeError(w, status, err)
+		s.logRequest("compile", key.Short(), cacheLabel(cached, dedup), status, time.Since(start), nil)
+		return
+	}
+	var res CompileResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := CompileResponse{Key: id, Cached: cached, Dedup: dedup,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000, CompileResult: res}
+	s.writeJSON(w, &resp)
+	s.logRequest("compile", key.Short(), cacheLabel(cached, dedup), http.StatusOK, time.Since(start), res.Passes)
+}
+
+// handleAnalyze serves /v1/analyze.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.countRequest("analyze")
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	var req AnalyzeRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	creq := CompileRequest{Source: req.Source, Procs: req.Procs, Machine: req.Machine,
+		Level: req.Level, Exact: req.Exact}
+	opts, key, err := normalizeCompile(&creq)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key.Kind = "analyze"
+	id := key.ID()
+	ctx, cancel := context.WithTimeout(r.Context(), clampTimeout(req.TimeoutMs, s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	body, cached, dedup, err := s.serveCached(ctx, id, func(ctx context.Context) ([]byte, error) {
+		res, err := analyzeResult(ctx, req.Source, opts)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		status := errStatus(err)
+		if status == http.StatusGatewayTimeout {
+			s.timeouts.Add(1)
+		}
+		s.writeError(w, status, err)
+		s.logRequest("analyze", key.Short(), cacheLabel(cached, dedup), status, time.Since(start), nil)
+		return
+	}
+	var res AnalyzeResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := AnalyzeResponse{Key: id, Cached: cached, Dedup: dedup,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000, AnalyzeResult: res}
+	s.writeJSON(w, &resp)
+	s.logRequest("analyze", key.Short(), cacheLabel(cached, dedup), http.StatusOK, time.Since(start), nil)
+}
+
+// handleVerify serves /v1/verify.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.countRequest("verify")
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	var req VerifyRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	creq := CompileRequest{Source: req.Source, Procs: req.Procs, Machine: req.Machine,
+		Level: "oneway", CSE: req.CSE, Weaken: req.Weaken}
+	_, key, err := normalizeCompile(&creq)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Schedules <= 0 {
+		req.Schedules = 4
+	}
+	levels, err := splitc.ParseLevels(strings.Join(req.Levels, ","))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key.Kind = "verify"
+	key.Level = strings.Join(req.Levels, ",")
+	key.Extra = fmt.Sprintf("sched=%d,det=%v", req.Schedules, req.Deterministic)
+	id := key.ID()
+	ctx, cancel := context.WithTimeout(r.Context(), clampTimeout(req.TimeoutMs, s.cfg.DefaultTimeout, s.cfg.MaxTimeout))
+	defer cancel()
+
+	body, cached, dedup, err := s.serveCached(ctx, id, func(ctx context.Context) ([]byte, error) {
+		res, err := verifyResult(ctx, &req, key.Machine, levels)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+	})
+	if err != nil {
+		status := errStatus(err)
+		if status == http.StatusGatewayTimeout {
+			s.timeouts.Add(1)
+		}
+		s.writeError(w, status, err)
+		s.logRequest("verify", key.Short(), cacheLabel(cached, dedup), status, time.Since(start), nil)
+		return
+	}
+	var res VerifyResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := VerifyResponse{Key: id, Cached: cached, Dedup: dedup,
+		ElapsedMs: float64(time.Since(start).Microseconds()) / 1000, VerifyResult: res}
+	s.writeJSON(w, &resp)
+	s.logRequest("verify", key.Short(), cacheLabel(cached, dedup), http.StatusOK, time.Since(start), nil)
+}
+
+// handleStats serves /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	s.writeJSON(w, &st)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil && s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(`{"event":"write_error","error":%q}`, err.Error())
+	}
+}
+
+func cacheLabel(cached, dedup bool) string {
+	switch {
+	case cached:
+		return "hit"
+	case dedup:
+		return "dedup"
+	default:
+		return "miss"
+	}
+}
+
+// compileResult runs the pipeline and packages the cacheable artifact.
+func compileResult(ctx context.Context, src string, opts splitc.Options, passNames []string) (*CompileResult, error) {
+	pl := &pass.Pipeline{}
+	if len(passNames) > 0 {
+		passes, err := pass.ParseList(strings.Join(passNames, ","))
+		if err != nil {
+			return nil, err
+		}
+		pl.Passes = passes
+	}
+	prog, err := splitc.CompilePipelineContext(ctx, src, opts, pl)
+	if err != nil {
+		return nil, err
+	}
+	if prog.Target == nil {
+		return nil, fmt.Errorf("pass list did not produce target code")
+	}
+	res := &CompileResult{
+		Target:        prog.Target.String(),
+		DelayPairs:    prog.Analysis.D.Size(),
+		BaselinePairs: prog.Analysis.Baseline.Size(),
+		Codegen:       codegenCounters(prog),
+		Passes:        passStats(prog.Passes),
+	}
+	for _, d := range prog.Diags {
+		if d.Sev == diag.Warning {
+			res.Warnings = append(res.Warnings, d.String())
+		}
+	}
+	return res, nil
+}
+
+// analyzeResult runs the pipeline through sync-analysis only.
+func analyzeResult(ctx context.Context, src string, opts splitc.Options) (*AnalyzeResult, error) {
+	pl := &pass.Pipeline{}
+	passes, err := pass.ParseList("parse,check,build-ir,conflict,cycle-detect,sync-analysis")
+	if err != nil {
+		return nil, err
+	}
+	pl.Passes = passes
+	prog, err := splitc.CompilePipelineContext(ctx, src, opts, pl)
+	if err != nil {
+		return nil, err
+	}
+	a := prog.Analysis
+	return &AnalyzeResult{
+		Accesses:      len(prog.Fn.Accesses),
+		BaselinePairs: a.Baseline.Size(),
+		D1Pairs:       a.D1.Size(),
+		DelayPairs:    a.D.Size(),
+		Regions:       a.Regions,
+		LargestRegion: a.LargestRegion,
+		Summary:       a.Summary(),
+	}, nil
+}
+
+// verifyResult runs the dynamic SC verifier. The verifier compiles and
+// simulates internally; ctx bounds it only between levels (a verify of a
+// pathological program still finishes its current level).
+func verifyResult(ctx context.Context, req *VerifyRequest, mach string, levels []splitc.Level) (*VerifyResult, error) {
+	cfg, err := machine.ByName(mach, req.Procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep, err := scverify.Verify(req.Source, scverify.Options{
+		Procs:         req.Procs,
+		Levels:        levels,
+		Machine:       cfg,
+		Schedules:     scverify.Schedules(req.Schedules),
+		Deterministic: req.Deterministic,
+		Weaken:        toPairs(req.Weaken),
+		CSE:           req.CSE,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &VerifyResult{OK: rep.OK(), Runs: rep.Runs(), ExactOracle: rep.ExactOracle, Summary: rep.Summary()}
+	for _, lr := range rep.Levels {
+		for _, v := range lr.Violations {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: %s", lr.Level, v))
+		}
+		for _, oe := range lr.OutcomeErrs {
+			res.OutcomeErrs = append(res.OutcomeErrs, oe.Error())
+		}
+	}
+	return res, nil
+}
+
+// codegenCounters flattens the codegen stats into named counters.
+func codegenCounters(prog *splitc.Program) map[string]int {
+	m := prog.Codegen.Map()
+	out := make(map[string]int, len(m))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if m[k] != 0 {
+			out[k] = m[k]
+		}
+	}
+	return out
+}
+
+func passStats(stats []pass.Stat) []PassStat {
+	out := make([]PassStat, len(stats))
+	for i, st := range stats {
+		out[i] = PassStat{Name: st.Name, WallNs: st.Wall.Nanoseconds(), Counters: st.Counters}
+	}
+	return out
+}

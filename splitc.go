@@ -19,6 +19,7 @@
 package splitc
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -204,12 +205,28 @@ func Compile(src string, opts Options) (*Program, error) {
 	return CompilePipeline(src, opts, nil)
 }
 
+// CompileContext is Compile under a cancellation/deadline context. The
+// pipeline checks ctx at every pass boundary, so a timed-out or canceled
+// compile aborts within one pass of the signal; callers distinguish the
+// abort from an ordinary compile error by inspecting ctx.Err(). This is
+// the entry point the serving daemon (internal/serve) uses to bound
+// per-request work.
+func CompileContext(ctx context.Context, src string, opts Options) (*Program, error) {
+	return CompilePipelineContext(ctx, src, opts, nil)
+}
+
 // CompilePipeline compiles src through pl, a pipeline the caller may have
 // customized (explicit pass list, per-pass observer, allocation
 // measurement). A nil pl — or one with no explicit pass list — runs the
 // canonical pipeline for opts. On error the returned Program carries the
 // passes that did run and their diagnostics alongside the error.
 func CompilePipeline(src string, opts Options, pl *pass.Pipeline) (*Program, error) {
+	return CompilePipelineContext(context.Background(), src, opts, pl)
+}
+
+// CompilePipelineContext is CompilePipeline under a cancellation/deadline
+// context (see CompileContext).
+func CompilePipelineContext(ctx context.Context, src string, opts Options, pl *pass.Pipeline) (*Program, error) {
 	if opts.Procs <= 0 {
 		return nil, fmt.Errorf("splitc: Options.Procs must be positive")
 	}
@@ -223,19 +240,22 @@ func CompilePipeline(src string, opts Options, pl *pass.Pipeline) (*Program, err
 	if pl.Passes == nil {
 		pl.Passes = pass.Plan(cfg)
 	}
-	ctx := pass.NewContext(src, cfg)
-	stats, err := pl.Run(ctx)
+	pctx := pass.NewContext(src, cfg)
+	if ctx != nil && ctx != context.Background() {
+		pctx.Ctx = ctx
+	}
+	stats, err := pl.Run(pctx)
 	prog := &Program{
 		Source:   src,
 		Opts:     opts,
-		AST:      ctx.AST,
-		Info:     ctx.Info,
-		Fn:       ctx.Fn,
-		Analysis: ctx.Analysis,
-		Target:   ctx.Prog(),
-		Codegen:  ctx.CodegenStats(),
+		AST:      pctx.AST,
+		Info:     pctx.Info,
+		Fn:       pctx.Fn,
+		Analysis: pctx.Analysis,
+		Target:   pctx.Prog(),
+		Codegen:  pctx.CodegenStats(),
 		Passes:   stats,
-		Diags:    ctx.Diags.All(),
+		Diags:    pctx.Diags.All(),
 	}
 	if err != nil {
 		return prog, err
