@@ -293,8 +293,8 @@ func printDelays(src string, procs int, lvl splitc.Level) error {
 	for _, p := range effective {
 		eff[p] = true
 	}
-	fmt.Printf("%d enforced delay pairs at level %s (* = removal changes emitted code):\n",
-		prog.Analysis.D.Size(), lvl)
+	fmt.Printf("%d enforced delay pairs at level %s (%d accesses in %d precedence classes; * = removal changes emitted code):\n",
+		prog.Analysis.D.Size(), lvl, len(prog.Fn.Accesses), prog.Analysis.RClasses)
 	for _, p := range prog.Analysis.D.Pairs() {
 		mark := " "
 		if eff[p] {

@@ -37,10 +37,12 @@ type AnalysisRow struct {
 	BaselinePairs int     `json:"baseline_pairs"`
 	FinalPairs    int     `json:"final_pairs"`
 	Regions       int     `json:"regions"`
-	DelayMS       float64 `json:"delay_ms"`   // plain Shasha-Snir delay set
-	AnalyzeMS     float64 `json:"analyze_ms"` // full pipeline, regionized engine
-	WholeMS       float64 `json:"whole_ms"`   // full pipeline, whole-graph engine
-	IncrMS        float64 `json:"incr_ms"`    // incremental recheck of an unchanged rebuild
+	RClasses      int     `json:"r_classes"`      // R-equivalence classes of the condensed precedence
+	CondenseRatio float64 `json:"condense_ratio"` // accesses per class — the row-count reduction factor
+	DelayMS       float64 `json:"delay_ms"`       // plain Shasha-Snir delay set
+	AnalyzeMS     float64 `json:"analyze_ms"`     // full pipeline, regionized engine
+	WholeMS       float64 `json:"whole_ms"`       // full pipeline, whole-graph engine
+	IncrMS        float64 `json:"incr_ms"`        // incremental recheck of an unchanged rebuild
 }
 
 // analysisProgram deterministically selects the benchmark program for a
@@ -99,6 +101,10 @@ func measureRow(fn *ir.Fn, target int, seed int64) AnalysisRow {
 	}
 	inc := syncanal.NewIncremental(syncanal.Options{})
 	inc.Analyze(fn)
+	ratio := 0.0
+	if res.RClasses > 0 {
+		ratio = float64(len(fn.Accesses)) / float64(res.RClasses)
+	}
 	return AnalysisRow{
 		Target:        target,
 		Seed:          seed,
@@ -107,6 +113,8 @@ func measureRow(fn *ir.Fn, target int, seed int64) AnalysisRow {
 		BaselinePairs: res.Baseline.Size(),
 		FinalPairs:    res.D.Size(),
 		Regions:       res.Regions,
+		RClasses:      res.RClasses,
+		CondenseRatio: ratio,
 		DelayMS:       bestOfMS(3, func() { delay.ShashaSnir(ag, cs) }),
 		AnalyzeMS:     bestOfMS(reps, func() { syncanal.Analyze(fn, syncanal.Options{}) }),
 		WholeMS: bestOfMS(reps, func() {
@@ -154,10 +162,11 @@ func RunAnalysisScaling(sizes []int, tiers []string) ([]AnalysisRow, error) {
 func FormatAnalysis(rows []AnalysisRow) string {
 	var sb strings.Builder
 	sb.WriteString("Analysis scaling (progen programs; best of 3, tiers best of 1)\n")
-	sb.WriteString("  accesses  conflicts  baseline|D|  final|D|  regions   delay ms  analyze ms    whole ms  incr ms\n")
+	sb.WriteString("  accesses  conflicts  baseline|D|  final|D|  regions  classes  condense   delay ms  analyze ms    whole ms  incr ms\n")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "  %8d  %9d  %11d  %8d  %7d  %9.2f  %10.2f  %10.2f  %7.2f\n",
+		fmt.Fprintf(&sb, "  %8d  %9d  %11d  %8d  %7d  %7d  %7.1fx  %9.2f  %10.2f  %10.2f  %7.2f\n",
 			r.Accesses, r.ConflictPairs, r.BaselinePairs, r.FinalPairs, r.Regions,
+			r.RClasses, r.CondenseRatio,
 			r.DelayMS, r.AnalyzeMS, r.WholeMS, r.IncrMS)
 	}
 	return sb.String()

@@ -118,10 +118,10 @@ func (c *RegionCache) put(key Sig, e *cacheEntry) {
 
 // cacheUsable reports whether the constraint set can be fingerprinted at
 // all: opaque per-pair callbacks defeat memoization unless their state is
-// exposed through NodeSig.
+// exposed through NodeSig or ClassSig.
 func cacheUsable(con Constraints) bool {
 	return con.Cache != nil && con.PairFilter == nil &&
-		(con.Removed == nil || con.NodeSig != nil)
+		(con.Removed == nil || con.NodeSig != nil || con.ClassSig != nil)
 }
 
 // regionSig fingerprints one region: member count, the endpoint
@@ -155,6 +155,12 @@ func regionSig(ag *ir.AccessGraph, con Constraints, comp []int32, c int,
 			con.NodeSig(gu, mask, lof, &s)
 			s.Word(1<<63 | 3)
 		}
+	}
+	if con.ClassSig != nil && con.Removed != nil {
+		// Class-condensed constraint fingerprint: one call per region
+		// instead of one per node; see Constraints.ClassSig.
+		con.ClassSig(members, mask, lof, &s)
+		s.Word(1<<63 | 4)
 	}
 	return s
 }

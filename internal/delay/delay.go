@@ -338,6 +338,27 @@ type Constraints struct {
 	// implementations must hash via local ids so that renumbering outside
 	// the region cannot disturb the fingerprint.
 	NodeSig func(x int, mask []uint64, lof []int32, s *Sig)
+	// ClassSig is the class-condensed alternative to NodeSig, for callers
+	// that also set AccessClass: called once per region (not once per
+	// node), it folds in each member's constraint class and the class-level
+	// relation behind Removed/RemovedCover, in the same local-id discipline
+	// as NodeSig. When both are set, both are hashed. Must be safe for
+	// concurrent calls from the engine's worker pool.
+	ClassSig func(members []int32, mask []uint64, lof []int32, s *Sig)
+	// AccessClass, when non-nil, partitions the accesses into constraint
+	// classes the regionized engine may treat as interchangeable: two
+	// accesses with equal class ids must have identical DirRows rows AND
+	// columns, identical RemovedCover output in either pair position (for
+	// any fixed partner), Removed answers that depend on each pair
+	// endpoint only through its class, and identical conflict rows. The
+	// dense region path then runs one reachability tree per target class
+	// — with subtree-interval certificates deciding most pairs in O(1) —
+	// instead of one per target, falling back to the exact per-pair
+	// searches whenever a certificate cannot decide. Declaring
+	// interchangeability that does not hold yields wrong results; the
+	// per-access oracle (syncanal's Options.PerAccessR) exists to check it
+	// differentially.
+	AccessClass []int32
 }
 
 // Engine selects a polynomial back-path search strategy.

@@ -49,6 +49,12 @@ type hubScratch struct {
 	y1, y2 []int32 // first/second visited member per group
 	gep    []int32 // epoch stamps for y1/y2
 	epoch  int32
+
+	// Group-major fast path: uncut base sweep shared by every source of
+	// one conflict group, plus per-group witness pools drawn from it.
+	base    *graph.FlowDom
+	pools   [][]int32
+	poolBuf []int32
 }
 
 // computeRegion is the regionized engine entry point.
@@ -337,12 +343,134 @@ func hubCompute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set)
 		}
 	}
 
-	parallelFor(n, nw, func(wk, b int) {
-		if flip && !graph.BitGet(em, b) {
-			return // handled by a reverse sweep below
+	// fastSweep decides b's candidates against the group's shared uncut
+	// base sweep instead of running a per-source cut BFS. A witness y that
+	// is base-visited, outside the base first-visit subtree of b, and
+	// outside the subtree of a has a base tree path avoiding both
+	// endpoints — and deleting b's in-edges cannot touch a path that never
+	// enters subtree(b), so the pair is TRUE on the cut graph too. A
+	// candidate whose conflict groups hold no base-visited member at all
+	// is exactly FALSE, because the cut sweep visits a subset of the base
+	// sweep. It reports false when some candidate was decided neither way
+	// and the caller must fall back to the exact per-source sweep.
+	const poolK = 4
+	fastSweep := func(s *hubScratch, b int) bool {
+		cand := s.cand
+		if !candidateRow(ag, b, em, con.EndpointsMode, cand) {
+			return true
 		}
-		sweep(scratch(wk), b)
-	})
+		applyPairFilter(filter, b, cand)
+		row := out.byB.Row(b)
+		crb := cs.Row(b)
+		rest := false
+		for i := range cand {
+			d := crb[i] & cand[i] // single conflict edge b -> a
+			row[i] |= d
+			cand[i] &^= d
+			if cand[i] != 0 {
+				rest = true
+			}
+		}
+		if !rest {
+			return true
+		}
+		base := s.base
+		bVis := base.Visited(b)
+		done := true
+		for wi, word := range cand {
+			for ; word != 0; word &= word - 1 {
+				a := wi<<6 + bits.TrailingZeros64(word)
+				aVisB := base.Visited(a)
+				// a's own self-conflict edge closes the path as soon as a
+				// survives the cut; outside subtree(b) the base path is
+				// the surviving witness.
+				if graph.BitGet(sc, a) && aVisB && (!bVis || !base.TreeAncestor(b, a)) {
+					graph.BitSet(row, a)
+					continue
+				}
+				dec, anyBase := false, false
+				for _, g2 := range ga[groupOf[a]] {
+					pool := s.pools[g2]
+					if len(pool) == 0 {
+						continue
+					}
+					anyBase = true
+					for _, y := range pool {
+						if int(y) == a {
+							continue
+						}
+						if bVis && base.TreeAncestor(b, int(y)) {
+							continue // y's base path may pass through b
+						}
+						if aVisB && base.TreeAncestor(a, int(y)) {
+							continue // y's base path may pass through a
+						}
+						dec = true
+						break
+					}
+					if dec {
+						break
+					}
+				}
+				if dec {
+					graph.BitSet(row, a)
+				} else if anyBase {
+					done = false // inconclusive: needs the cut sweep
+				}
+				// !anyBase: exactly FALSE — no member of T(a) is even
+				// base-reachable, and cut-visited is a subset of that.
+			}
+		}
+		return done
+	}
+
+	if con.Removed == nil {
+		// Group-major forward sweeps: one shared base per conflict group.
+		parallelFor(G, nw, func(wk, g int) {
+			if len(ga[g]) == 0 {
+				return
+			}
+			s := scratch(wk)
+			if s.base == nil {
+				s.base = graph.NewFlowDom(hub)
+				s.poolBuf = make([]int32, poolK*G)
+				s.pools = make([][]int32, G)
+			}
+			built := false
+			for _, b32 := range mem[g] {
+				b := int(b32)
+				if flip && !graph.BitGet(em, b) {
+					continue // handled by a reverse sweep below
+				}
+				if !built {
+					built = true
+					s.seeds = append(s.seeds[:0], int32(n)+int32(g))
+					s.base.Reach(s.seeds, -1)
+					for i := range s.pools {
+						s.pools[i] = s.poolBuf[i*poolK : i*poolK : (i+1)*poolK]
+					}
+					for _, v := range s.base.Order() {
+						if v >= int32(n) {
+							continue
+						}
+						if p := s.pools[groupOf[v]]; len(p) < poolK {
+							s.pools[groupOf[v]] = append(p, v)
+						}
+					}
+				}
+				if !fastSweep(s, b) {
+					sweep(s, b)
+				}
+			}
+		})
+	} else {
+		parallelFor(n, nw, func(wk, b int) {
+			if flip && !graph.BitGet(em, b) {
+				return // handled by a reverse sweep below
+			}
+			sweep(scratch(wk), b)
+		})
+	}
 
 	if !flip {
 		return
@@ -770,7 +898,13 @@ func regionSolve(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set
 			}
 		}
 		if eLocal >= nl*nl/64 {
-			denseSolve(ag, con, out, members, mask, lof, dirOut, dirIn, em, filter, gd, sc)
+			// The class-condensed engine shares one BFS tree per target
+			// class; it declines (writing nothing) when the constraint
+			// shape or class structure doesn't support sharing.
+			if !classSolveUsable(con, filter) ||
+				!classSolve(ag, con, out, members, mask, lof, dirOut, dirIn, em, gd, sc) {
+				denseSolve(ag, con, out, members, mask, lof, dirOut, dirIn, em, filter, gd, sc)
+			}
 			store()
 			return
 		}

@@ -74,6 +74,9 @@ func BitGet(row []uint64, j int) bool {
 // BitSet sets bit j of a word-slice row.
 func BitSet(row []uint64, j int) { row[j>>6] |= 1 << (uint(j) & 63) }
 
+// BitClear clears bit j of the row.
+func BitClear(row []uint64, j int) { row[j>>6] &^= 1 << (uint(j) & 63) }
+
 // AndAny reports whether two rows share a set bit.
 func AndAny(a, b []uint64) bool {
 	for i, w := range a {

@@ -127,6 +127,7 @@ var passes = []Pass{
 		a.RefineSync(ctx.analysisOptions())
 		ctx.Count("d1_delays", a.D1.Size())
 		ctx.Count("precedence_pairs", a.R.Size())
+		ctx.Count("r_classes", a.RClasses)
 		ctx.Count("final_delays", a.D.Size())
 		ctx.Count("lock_guarded", len(a.Guards))
 		cophase := 0

@@ -107,6 +107,9 @@ type AnalyzeResult struct {
 	// regionized engine solved.
 	Regions       int `json:"regions"`
 	LargestRegion int `json:"largest_region"`
+	// RClasses is the number of R-equivalence classes of the
+	// class-condensed precedence relation (0 under the per-access oracle).
+	RClasses int `json:"r_classes"`
 	// Summary is the human-readable analysis summary.
 	Summary string `json:"summary"`
 }

@@ -492,6 +492,7 @@ func analyzeResult(ctx context.Context, src string, opts splitc.Options) (*Analy
 		DelayPairs:    a.D.Size(),
 		Regions:       a.Regions,
 		LargestRegion: a.LargestRegion,
+		RClasses:      a.RClasses,
 		Summary:       a.Summary(),
 	}, nil
 }

@@ -1,0 +1,604 @@
+package syncanal
+
+import (
+	"math/bits"
+	"sort"
+	"time"
+
+	"repro/internal/delay"
+	"repro/internal/graph"
+)
+
+// This file implements the class-condensed backing of the precedence
+// relation R. The relation the paper's step 4 computes is highly
+// class-structured: accesses in the same phase of the same statement end up
+// with identical R rows, because every rule that grows R — the post->wait
+// seed rectangles, the dominator derivation (which fires per
+// successor-class x predecessor-class pair), and transitive closure — adds
+// *rectangles* over sets of accesses, never individual edges.
+//
+// classPartition therefore stores R as a partition of the accesses into
+// R-equivalence classes plus one bitset row per class over CLASS ids:
+//
+//	R(a, b)  <=>  crel(classOf[a], classOf[b])
+//
+// The partition starts as one universal class and is refined on demand:
+// addRect(A, B) first splits every class that straddles A or B (so both
+// sets become unions of classes), then sets the class-level rectangle.
+// Splitting copies the split class's row and column, so the congruence
+// invariant — membership in R depends only on the two classes — holds
+// after every operation, including the diagonal (a class with a self-edge
+// keeps it on both halves, which is what forces barrier accesses, seeded
+// with a reflexive edge, into singleton classes).
+//
+// Transitive closure commutes with the blow-up: an access-level R-path
+// alternates between classes along class edges, and conversely a class
+// path C0 -> ... -> Ck lifts to an access path through any member choice
+// (classes are never empty), so closing crel and expanding equals
+// expanding and closing. The closure therefore runs on c x c rows instead
+// of n x n — the O(n^2 * n/64) -> O(c^2 * c/64) drop the scaling tiers
+// needed.
+type classPartition struct {
+	n int // accesses
+	w int // words per access bitset
+
+	classOf []int32
+	members [][]int32  // class -> member list (ascending access id)
+	mask    [][]uint64 // class -> member bitset (w words)
+
+	rows []([]uint64) // crel rows over class-id bits, WordsFor(cap) words each
+	cap  int          // row capacity in class ids
+	nc   int          // live class count
+
+	splits int           // classes created by splitting (beyond the seed class)
+	maint  time.Duration // time spent constructing/splitting the partition
+
+	// scratch
+	aStamp  []int32 // per-access membership stamps for splitBySet
+	cStamp  []int32 // per-class stamps
+	cCnt    []int32 // per-class in-set counts
+	cFirst  []int32 // first moved-member index per touched class
+	epoch   int32
+	touched []int32
+	bmask   []uint64 // class-bit scratch for addRect
+	caBuf   []int32  // class-id scratch for addRect
+	cbBuf   []int32
+
+	// expansion caches, rebuilt lazily after mutations
+	dirty  bool
+	expRow [][]uint64 // class -> expanded successor access row
+	expCol [][]uint64 // class -> expanded predecessor access row
+	size   int
+}
+
+func newClassPartition(n int) *classPartition {
+	p := &classPartition{
+		n: n, w: graph.WordsFor(n), cap: 64,
+		classOf: make([]int32, n),
+		aStamp:  make([]int32, n),
+		dirty:   true, size: -1,
+	}
+	p.cStamp = make([]int32, p.cap)
+	p.cCnt = make([]int32, p.cap)
+	p.cFirst = make([]int32, p.cap)
+	p.bmask = make([]uint64, graph.WordsFor(p.cap))
+	if n > 0 {
+		all := make([]int32, n)
+		m := make([]uint64, p.w)
+		for i := 0; i < n; i++ {
+			all[i] = int32(i)
+			graph.BitSet(m, i)
+		}
+		p.members = [][]int32{all}
+		p.mask = [][]uint64{m}
+		p.rows = [][]uint64{make([]uint64, graph.WordsFor(p.cap))}
+		p.nc = 1
+	}
+	return p
+}
+
+func (p *classPartition) wc() int { return graph.WordsFor(p.nc) }
+
+// ensureCap grows the class-id capacity of every row and scratch array.
+func (p *classPartition) ensureCap(need int) {
+	if need <= p.cap {
+		return
+	}
+	for p.cap < need {
+		p.cap *= 2
+	}
+	wc := graph.WordsFor(p.cap)
+	for i, r := range p.rows {
+		nr := make([]uint64, wc)
+		copy(nr, r)
+		p.rows[i] = nr
+	}
+	grow := func(s []int32) []int32 {
+		ns := make([]int32, p.cap)
+		copy(ns, s)
+		return ns
+	}
+	p.cStamp, p.cCnt, p.cFirst = grow(p.cStamp), grow(p.cCnt), grow(p.cFirst)
+	p.bmask = make([]uint64, wc)
+}
+
+// splitClass moves the members of class c stamped with epoch e into a new
+// class and returns its id. The new class inherits c's row and column, so
+// the relation is unchanged at the access level.
+func (p *classPartition) splitClass(c int32, e int32) int32 {
+	t0 := time.Now()
+	defer func() { p.maint += time.Since(t0) }()
+	p.ensureCap(p.nc + 1)
+	nid := int32(p.nc)
+	p.nc++
+	p.splits++
+
+	old := p.members[c]
+	keep := old[:0]
+	moved := make([]int32, 0, p.cCnt[c])
+	nm := make([]uint64, p.w)
+	for _, a := range old {
+		if p.aStamp[a] == e {
+			moved = append(moved, a)
+			p.classOf[a] = nid
+			graph.BitSet(nm, int(a))
+			graph.BitClear(p.mask[c], int(a))
+		} else {
+			keep = append(keep, a)
+		}
+	}
+	p.members[c] = keep
+	p.members = append(p.members, moved)
+	p.mask = append(p.mask, nm)
+
+	// Row copy, then column copy over all live rows (the new row included,
+	// which reproduces the diagonal: crel(c, c) implies crel(nid, nid)).
+	nr := make([]uint64, graph.WordsFor(p.cap))
+	copy(nr, p.rows[c])
+	p.rows = append(p.rows, nr)
+	ci := int(c)
+	for i := 0; i < p.nc; i++ {
+		if graph.BitGet(p.rows[i], ci) {
+			graph.BitSet(p.rows[i], int(nid))
+		}
+	}
+	return nid
+}
+
+// splitBySet refines the partition so S becomes a union of classes.
+func (p *classPartition) splitBySet(S []int32) {
+	if len(S) == 0 {
+		return
+	}
+	p.epoch++
+	e := p.epoch
+	p.touched = p.touched[:0]
+	for _, a := range S {
+		p.aStamp[a] = e
+		c := p.classOf[a]
+		if p.cStamp[c] != e {
+			p.cStamp[c] = e
+			p.cCnt[c] = 0
+			p.touched = append(p.touched, c)
+		}
+		p.cCnt[c]++
+	}
+	for _, c := range p.touched {
+		if int(p.cCnt[c]) != len(p.members[c]) {
+			p.splitClass(c, e)
+		}
+	}
+}
+
+// classesOf returns the distinct classes of the members of S, which must
+// already be a union of classes. The result is appended to dst.
+func (p *classPartition) classesOf(S []int32, dst []int32) []int32 {
+	p.epoch++
+	e := p.epoch
+	for _, a := range S {
+		c := p.classOf[a]
+		if p.cStamp[c] != e {
+			p.cStamp[c] = e
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// addRect inserts the rectangle A x B into R, splitting straddling classes
+// first; it reports whether any pair was new.
+func (p *classPartition) addRect(A, B []int32) bool {
+	if len(A) == 0 || len(B) == 0 {
+		return false
+	}
+	p.splitBySet(A)
+	p.splitBySet(B)
+	ca := p.classesOf(A, p.caBuf[:0])
+	cb := p.classesOf(B, p.cbBuf[:0])
+	p.caBuf, p.cbBuf = ca, cb
+	wc := p.wc()
+	bm := p.bmask[:wc]
+	for i := range bm {
+		bm[i] = 0
+	}
+	for _, c := range cb {
+		graph.BitSet(bm, int(c))
+	}
+	changed := false
+	for _, c := range ca {
+		row := p.rows[c]
+		for i, word := range bm {
+			if nw := word &^ row[i]; nw != 0 {
+				row[i] |= nw
+				changed = true
+			}
+		}
+	}
+	if changed {
+		p.dirty = true
+		p.size = -1
+	}
+	return changed
+}
+
+func (p *classPartition) has(a, b int) bool {
+	return graph.BitGet(p.rows[p.classOf[a]], int(p.classOf[b]))
+}
+
+// liveInto reports whether class c currently holds a member set in the
+// access bitset row. refineRClass uses it to re-verify screening hits
+// whose class may have split since the screening vectors were built:
+// membership only shrinks between coalesces, so a class that fails this
+// test stays dead until the next round.
+func (p *classPartition) liveInto(c int, row []uint64) bool {
+	for _, m := range p.members[c] {
+		if graph.BitGet(row, int(m)) {
+			return true
+		}
+	}
+	return false
+}
+
+// transClose closes crel under transitivity (length >= 1 reachability, as
+// in the per-access backing) and reports change. Exactness at the access
+// level follows from the congruence invariant: closures commute with the
+// blow-up because classes are never empty.
+func (p *classPartition) transClose() bool {
+	nc := p.nc
+	if nc == 0 {
+		return false
+	}
+	wc := p.wc()
+	iter := func(u int, visit func(v int32)) {
+		for wi, wd := range p.rows[u][:wc] {
+			for ; wd != 0; wd &= wd - 1 {
+				visit(int32(wi<<6 + bits.TrailingZeros64(wd)))
+			}
+		}
+	}
+	closed := graph.Condense(nc, iter).ReachRows(nc, iter)
+	changed := false
+	for c := 0; c < nc; c++ {
+		old, now := p.rows[c][:wc], closed.Row(c)
+		for i := range old {
+			if now[i] != old[i] {
+				changed = true
+			}
+		}
+		copy(old, now)
+	}
+	if changed {
+		p.dirty = true
+		p.size = -1
+	}
+	return changed
+}
+
+// coalesce merges classes whose rows AND columns are identical bitsets
+// over the current class ids, iterating to a fixpoint (a merge can make
+// two further rows equal when they differed only at the merged
+// positions). Each merge is exact: equal class-bit sets expand to equal
+// access-level rows and columns, and column equality forces every row to
+// agree at the two merged positions, so the quotient keeps the congruence
+// invariant — including the diagonal. Splitting is how the partition
+// refines, but splits never merge back on their own even when closure
+// makes the halves indistinguishable again; coalescing at closure points
+// is what keeps the class count near the true number of distinct R rows.
+func (p *classPartition) coalesce() {
+	t0 := time.Now()
+	for p.coalesceOnce() {
+	}
+	p.maint += time.Since(t0)
+}
+
+func (p *classPartition) coalesceOnce() bool {
+	nc := p.nc
+	if nc <= 1 {
+		return false
+	}
+	wc := p.wc()
+
+	// Column bitsets, by transposing the rows.
+	cols := make([][]uint64, nc)
+	for c := 0; c < nc; c++ {
+		cols[c] = make([]uint64, wc)
+	}
+	for i := 0; i < nc; i++ {
+		for wi, wd := range p.rows[i][:wc] {
+			for ; wd != 0; wd &= wd - 1 {
+				graph.BitSet(cols[wi<<6+bits.TrailingZeros64(wd)], i)
+			}
+		}
+	}
+
+	// Group classes by (row, column) — hash bucket plus exact compare.
+	rep := make([]int32, nc)
+	buckets := make(map[uint64][]int32)
+	merged := false
+	for c := 0; c < nc; c++ {
+		h := uint64(1469598103934665603)
+		for _, wd := range p.rows[c][:wc] {
+			h ^= wd
+			h *= 1099511628211
+		}
+		h ^= 0x9e3779b97f4a7c15
+		for _, wd := range cols[c] {
+			h ^= wd
+			h *= 1099511628211
+		}
+		rep[c] = int32(c)
+		found := false
+		for _, c2 := range buckets[h] {
+			if wordsEqual(p.rows[c][:wc], p.rows[c2][:wc]) && wordsEqual(cols[c], cols[c2]) {
+				rep[c] = c2
+				found, merged = true, true
+				break
+			}
+		}
+		if !found {
+			buckets[h] = append(buckets[h], int32(c))
+		}
+	}
+	if !merged {
+		return false
+	}
+
+	// Compact renumbering in representative order, then rebuild.
+	newID := make([]int32, nc)
+	nn := 0
+	for c := 0; c < nc; c++ {
+		if rep[c] == int32(c) {
+			newID[c] = int32(nn)
+			nn++
+		}
+	}
+	for c := 0; c < nc; c++ {
+		newID[c] = newID[rep[c]]
+	}
+	members := make([][]int32, nn)
+	mask := make([][]uint64, nn)
+	rows := make([][]uint64, nn)
+	rowW := graph.WordsFor(p.cap)
+	for c := 0; c < nc; c++ {
+		id := newID[c]
+		if mask[id] == nil {
+			mask[id] = make([]uint64, p.w)
+			rows[id] = make([]uint64, rowW)
+			for wi, wd := range p.rows[c][:wc] {
+				for ; wd != 0; wd &= wd - 1 {
+					graph.BitSet(rows[id], int(newID[wi<<6+bits.TrailingZeros64(wd)]))
+				}
+			}
+		}
+		members[id] = append(members[id], p.members[c]...)
+		for i, mw := range p.mask[c] {
+			mask[id][i] |= mw
+		}
+	}
+	for id := range members {
+		sort.Slice(members[id], func(i, j int) bool { return members[id][i] < members[id][j] })
+	}
+	for a := 0; a < p.n; a++ {
+		p.classOf[a] = newID[p.classOf[a]]
+	}
+	p.members, p.mask, p.rows, p.nc = members, mask, rows, nn
+	p.dirty = true
+	p.size = -1
+	return true
+}
+
+// expand (re)builds the per-class expanded access rows and columns and the
+// exact pair count. Rebuilt lazily: mutations only mark the caches dirty.
+func (p *classPartition) expand() {
+	if !p.dirty && p.expRow != nil {
+		return
+	}
+	nc := p.nc
+	p.expRow = make([][]uint64, nc)
+	p.expCol = make([][]uint64, nc)
+	for c := 0; c < nc; c++ {
+		p.expCol[c] = make([]uint64, p.w)
+	}
+	p.size = 0
+	for c := 0; c < nc; c++ {
+		r := make([]uint64, p.w)
+		sz := 0
+		for wi, wd := range p.rows[c][:p.wc()] {
+			for ; wd != 0; wd &= wd - 1 {
+				c2 := wi<<6 + bits.TrailingZeros64(wd)
+				for i, mw := range p.mask[c2] {
+					r[i] |= mw
+				}
+				col := p.expCol[c2]
+				for i, mw := range p.mask[c] {
+					col[i] |= mw
+				}
+				sz += len(p.members[c2])
+			}
+		}
+		p.expRow[c] = r
+		p.size += len(p.members[c]) * sz
+	}
+	p.dirty = false
+}
+
+func (p *classPartition) rowOf(a int) []uint64 {
+	p.expand()
+	return p.expRow[p.classOf[a]]
+}
+
+func (p *classPartition) colOf(b int) []uint64 {
+	p.expand()
+	return p.expCol[p.classOf[b]]
+}
+
+func (p *classPartition) pairCount() int {
+	p.expand()
+	return p.size
+}
+
+// accessClasses computes the delay.Constraints.AccessClass partitions for
+// the two oriented passes. Accesses share a class only when they are
+// interchangeable for the engine's constraint hooks — identical oriented
+// conflict rows AND columns, identical removal covers as source and
+// target, identical Removed behavior — which holds when they agree on:
+//
+//   - the R-equivalence class (orientation and removal consult R only
+//     through the class relation);
+//   - the conflict similarity group (conflict rows are built per group, and
+//     the group key includes the access kind, so sync-ness and data-ness
+//     ride along);
+//   - the lock-guard bit mask (the shared-lock arms of removed/cover);
+//   - for the phased pass only, the interned co-phase row (the barrier
+//     filter ANDs it into data rows and columns).
+//
+// Returns nil partitions (disabling class solving) in the >64-locks
+// fallback, where guard sets are maps the key cannot capture cheaply.
+func (res *Result) accessClasses(guardBits []uint64) (base, phased []int32) {
+	if guardBits == nil && len(res.Guards) > 0 {
+		return nil, nil
+	}
+	fn := res.Fn
+	n := len(fn.Accesses)
+	cp := res.R.cp
+
+	// Exact co-phase row interning: equal rows share an id (hash bucket +
+	// word compare, no collision risk). Only data accesses consult their
+	// co-phase row in the phased pass; others keep id 0.
+	coID := make([]int32, n)
+	if res.CoPhase != nil {
+		type entry struct {
+			row []uint64
+			id  int32
+		}
+		buckets := make(map[uint64][]entry)
+		next := int32(1)
+		for _, a := range fn.Accesses {
+			if !a.Kind.IsData() {
+				continue
+			}
+			row := res.CoPhase.Row(a.ID)
+			h := uint64(1469598103934665603)
+			for _, wd := range row {
+				h ^= wd
+				h *= 1099511628211
+			}
+			id := int32(-1)
+			for _, e := range buckets[h] {
+				if wordsEqual(e.row, row) {
+					id = e.id
+					break
+				}
+			}
+			if id < 0 {
+				id = next
+				next++
+				buckets[h] = append(buckets[h], entry{row, id})
+			}
+			coID[a.ID] = id
+		}
+	}
+
+	type key struct {
+		rc, cg, co int32
+		gb         uint64
+	}
+	base = make([]int32, n)
+	phased = make([]int32, n)
+	bIdx := make(map[key]int32)
+	pIdx := make(map[key]int32)
+	for i := 0; i < n; i++ {
+		var gb uint64
+		if guardBits != nil {
+			gb = guardBits[i]
+		}
+		k := key{rc: cp.classOf[i], cg: res.CS.GroupOf(i), gb: gb}
+		id, ok := bIdx[k]
+		if !ok {
+			id = int32(len(bIdx))
+			bIdx[k] = id
+		}
+		base[i] = id
+		k.co = coID[i]
+		id, ok = pIdx[k]
+		if !ok {
+			id = int32(len(pIdx))
+			pIdx[k] = id
+		}
+		phased[i] = id
+	}
+	return base, phased
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// classSigFn returns the delay.Constraints.ClassSig implementation: the
+// class-condensed replacement for the per-node R-row hashing of the
+// per-access oracle's NodeSig. It folds into the region memo key, in
+// renumber-stable local ids, (a) each member's class under R plus its
+// guard mask, and (b) the class relation restricted to the classes present
+// in the region. Two regions with equal signatures then agree, member by
+// member, on every R and lock consultation removed()/RemovedCover can make
+// for intra-region triples — the same soundness argument as NodeSig
+// (DESIGN.md §13), paid once per region instead of once per node. Safe for
+// concurrent calls: all state is call-local.
+func (res *Result) classSigFn(guardBits []uint64) func(members []int32, mask []uint64, lof []int32, s *delay.Sig) {
+	cp := res.R.cp
+	return func(members []int32, mask []uint64, lof []int32, s *delay.Sig) {
+		var order []int32
+		lid := make(map[int32]int32, 16)
+		for _, gv := range members {
+			c := cp.classOf[gv]
+			id, ok := lid[c]
+			if !ok {
+				id = int32(len(order))
+				lid[c] = id
+				order = append(order, c)
+			}
+			s.Word(uint64(id))
+			if guardBits != nil {
+				s.Word(guardBits[gv])
+			}
+		}
+		s.Word(1<<63 | 1)
+		for _, c := range order {
+			row := cp.rows[c]
+			for id2, c2 := range order {
+				if graph.BitGet(row, int(c2)) {
+					s.Word(uint64(id2))
+				}
+			}
+			s.Word(1<<63 | 2)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/delay"
 	"repro/internal/ir"
+	"repro/internal/sem"
 )
 
 // Incremental is a session of repeated analyses over successive versions
@@ -41,7 +42,84 @@ type Incremental struct {
 // sessions, not within one.
 func NewIncremental(opts Options) *Incremental {
 	opts.regionCache = delay.NewRegionCache(0)
+	if !opts.PerAccessR {
+		opts.precCache = &precedenceCache{}
+	}
 	return &Incremental{opts: opts}
+}
+
+// precedenceCache carries the class-condensed precedence relation across
+// the edits of an Incremental session. R is a pure function of the
+// precedence inputs — the access kind/symbol sequence, the
+// dominator-classified D1 pairs, and the refinement toggles — so when an
+// edit leaves those unchanged (a store's value expression, say, that
+// perturbs neither conflicts nor synchronization), the previous partition
+// is reused read-only and the seed + refine fixpoint is skipped entirely.
+type precedenceCache struct {
+	valid bool
+	sig   delay.Sig
+	r     *Precedence
+}
+
+// lookup returns the cached relation when the precedence inputs of res
+// match the previous edit's, else records the new signature (for the
+// store that follows refinement) and returns nil.
+func (c *precedenceCache) lookup(res *Result, opts Options) *Precedence {
+	if c == nil {
+		return nil
+	}
+	sig := precedenceSig(res, opts)
+	if c.valid && sig == c.sig && c.r != nil {
+		return c.r
+	}
+	c.sig, c.valid, c.r = sig, true, nil
+	return nil
+}
+
+func (c *precedenceCache) store(r *Precedence) {
+	if c != nil {
+		c.r = r
+	}
+}
+
+// precedenceSig digests everything steps 3–4 read: per-access kinds and
+// symbol identities (interned in first-seen order, so the digest is stable
+// under symbol-table reordering), each D1 pair with its two domination
+// classifications, and the refinement toggles.
+func precedenceSig(res *Result, opts Options) delay.Sig {
+	fn := res.Fn
+	s := delay.NewSig()
+	s.Word(uint64(len(fn.Accesses)))
+	s.Word(boolWord(opts.NoPostWait)<<1 | boolWord(opts.NoBarrier))
+	symID := make(map[*sem.Symbol]uint64)
+	for _, a := range fn.Accesses {
+		id, ok := symID[a.Sym]
+		if !ok {
+			id = uint64(len(symID)) + 1
+			symID[a.Sym] = id
+		}
+		s.Word(uint64(a.Kind)<<32 | id)
+	}
+	s.Word(1<<63 | 4)
+	for _, p := range res.D1.Pairs() {
+		a, b := fn.Accesses[p.A], fn.Accesses[p.B]
+		var cls uint64
+		if res.Dom.StmtDominates(a, b) {
+			cls |= 1
+		}
+		if res.PDom.StmtPostDominates(b, a) {
+			cls |= 2
+		}
+		s.Word(uint64(p.A)<<34 | uint64(p.B)<<2 | cls)
+	}
+	return s
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Fingerprint digests everything Analyze reads from a function: the

@@ -30,6 +30,7 @@ import (
 	"repro/internal/delay"
 	"repro/internal/graph"
 	"repro/internal/ir"
+	"repro/internal/sem"
 )
 
 // Options configures the analysis.
@@ -53,51 +54,156 @@ type Options struct {
 	// set is an ablation artifact, not an input of the refinement; callers
 	// that only need D (the incremental analysis in particular) skip it.
 	NoBaseline bool
+	// PerAccessR stores the precedence relation with one bitset row per
+	// access instead of the default class-condensed partition. It is the
+	// retained differential oracle for the condensed representation (the
+	// same pattern as Engine/Reference for the delay engines), not a
+	// performance option: the per-access closure is O(n^2*n/64) where the
+	// condensed one is O(c^2*c/64).
+	PerAccessR bool
 
 	// regionCache, when set (by Incremental), memoizes per-region results
 	// of the directed delay computations across Analyze calls.
 	regionCache *delay.RegionCache
+	// precCache, when set (by Incremental), carries the class partition of
+	// the previous edit's R so an unchanged precedence input skips the
+	// seed + refine fixpoint entirely.
+	precCache *precedenceCache
 }
 
 // Precedence is the relation R: Has(a, b) means access a is guaranteed to
 // complete before access b is initiated, in every execution, whenever the
 // two dynamic instances are "aligned" by the synchronization structure.
+//
+// Two backings implement it. The default is the class-condensed partition
+// of classes.go: one bitset row per R-equivalence class plus membership
+// vectors, with expanded per-access rows materialized lazily for the
+// consumers that want bitsets. NewPrecedence builds the retained
+// per-access form (one n-bit row per access) — the differential oracle,
+// selected by Options.PerAccessR. Both answer Has/Row/Size identically.
 type Precedence struct {
 	n   int
-	rel *graph.BitMatrix
+	rel *graph.BitMatrix // per-access backing (oracle mode)
+	rt  *graph.BitMatrix // lazy transpose of rel, for ColRow
+	cp  *classPartition  // class-condensed backing (default mode)
 }
 
-// NewPrecedence returns an empty relation over n accesses.
+// NewPrecedence returns an empty per-access relation over n accesses.
 func NewPrecedence(n int) *Precedence {
 	return &Precedence{n: n, rel: graph.NewBitMatrix(n)}
 }
 
+// newClassPrecedence returns an empty class-condensed relation: one
+// universal class, refined on demand as rectangles are added.
+func newClassPrecedence(n int) *Precedence {
+	return &Precedence{n: n, cp: newClassPartition(n)}
+}
+
 // Has reports whether [a, b] is in R.
-func (r *Precedence) Has(a, b int) bool { return r.rel.Has(a, b) }
+func (r *Precedence) Has(a, b int) bool {
+	if r.cp != nil {
+		return r.cp.has(a, b)
+	}
+	return r.rel.Has(a, b)
+}
 
 // Add inserts [a, b]; it reports whether the edge was new.
 func (r *Precedence) Add(a, b int) bool {
+	if r.cp != nil {
+		return r.cp.addRect([]int32{int32(a)}, []int32{int32(b)})
+	}
 	if r.rel.Has(a, b) {
 		return false
 	}
 	r.rel.Set(a, b)
+	r.rt = nil
 	return true
 }
 
+// addRect inserts the rectangle A x B; it reports whether any pair was new.
+// On the class backing this is the native operation; the per-access oracle
+// expands it pair by pair.
+func (r *Precedence) addRect(A, B []int32) bool {
+	if r.cp != nil {
+		return r.cp.addRect(A, B)
+	}
+	changed := false
+	for _, a := range A {
+		for _, b := range B {
+			if r.Add(int(a), int(b)) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
 // Size returns the number of edges.
-func (r *Precedence) Size() int { return r.rel.Count() }
+func (r *Precedence) Size() int {
+	if r.cp != nil {
+		return r.cp.pairCount()
+	}
+	return r.rel.Count()
+}
 
 // Row returns a's successor row as a shared bitset; callers must not
 // modify it.
-func (r *Precedence) Row(a int) []uint64 { return r.rel.Row(a) }
+func (r *Precedence) Row(a int) []uint64 {
+	if r.cp != nil {
+		return r.cp.rowOf(a)
+	}
+	return r.rel.Row(a)
+}
+
+// ColRow returns b's predecessor row {a : Has(a, b)} as a shared bitset;
+// callers must not modify it. The class backing keeps expanded columns
+// alongside expanded rows; the per-access backing transposes lazily.
+func (r *Precedence) ColRow(b int) []uint64 {
+	if r.cp != nil {
+		return r.cp.colOf(b)
+	}
+	if r.rt == nil {
+		r.rt = r.rel.Transpose()
+	}
+	return r.rt.Row(b)
+}
+
+// Classes returns the number of R-equivalence classes of the condensed
+// backing, or 0 for the per-access oracle (which never condenses).
+func (r *Precedence) Classes() int {
+	if r.cp != nil {
+		return r.cp.nc
+	}
+	return 0
+}
+
+// ClassSplits returns how many class splits refinement forced.
+func (r *Precedence) ClassSplits() int {
+	if r.cp != nil {
+		return r.cp.splits
+	}
+	return 0
+}
+
+// ClassOf returns a's class id under the condensed backing, or -1.
+func (r *Precedence) ClassOf(a int) int32 {
+	if r.cp != nil {
+		return r.cp.classOf[a]
+	}
+	return -1
+}
 
 // transClose closes R under transitivity; reports change. The closure is
 // computed as length->=1 reachability over the current edge set: Tarjan
 // condensation followed by one reverse-topological row-OR pass over the
-// DAG (graph.ReachRows). That costs O(E + E_dag*n/64) word operations where
-// Warshall's row-OR form costs O(n^2) row ORs — the difference between
-// milliseconds and minutes at 8k accesses.
+// DAG (graph.ReachRows). On the per-access backing that costs O(E +
+// E_dag*n/64) word operations; the class backing runs the same pass over
+// c x c class rows instead, which is what takes the 8k-access closure from
+// tens of seconds to milliseconds.
 func (r *Precedence) transClose() bool {
+	if r.cp != nil {
+		return r.cp.transClose()
+	}
 	iter := func(u int, visit func(v int32)) {
 		for wi, wd := range r.rel.Row(u) {
 			for wd != 0 {
@@ -119,6 +225,9 @@ func (r *Precedence) transClose() bool {
 		// even on unchanged rows.
 		copy(old, now)
 	}
+	if changed {
+		r.rt = nil
+	}
 	return changed
 }
 
@@ -133,7 +242,15 @@ type Timing struct {
 	Baseline time.Duration
 	// D1 is the synchronization-restricted initial delay set (step 2).
 	D1 time.Duration
-	// Precedence covers seeding and refining R (steps 3–4).
+	// Condense is the structural class-partition maintenance share of
+	// steps 3–4: splitting classes the refinement distinguishes and
+	// coalescing indistinguishable ones back together. Stamp-only
+	// splitBySet passes that split nothing are left in Precedence — they
+	// are part of every rectangle insertion and too cheap to time
+	// individually. Zero under Options.PerAccessR.
+	Condense time.Duration
+	// Precedence covers seeding and refining R (steps 3–4), minus the
+	// partition maintenance reported as Condense.
 	Precedence time.Duration
 	// Guards is the lock-guard computation (section 5.3).
 	Guards time.Duration
@@ -146,7 +263,7 @@ type Timing struct {
 
 // Total sums the sub-phase times.
 func (t Timing) Total() time.Duration {
-	return t.Prepare + t.Baseline + t.D1 + t.Precedence + t.Guards + t.CoPhase + t.Orient
+	return t.Prepare + t.Baseline + t.D1 + t.Condense + t.Precedence + t.Guards + t.CoPhase + t.Orient
 }
 
 // String renders the timing as one line per sub-phase.
@@ -157,8 +274,8 @@ func (t Timing) String() string {
 		d    time.Duration
 	}{
 		{"prepare", t.Prepare}, {"baseline", t.Baseline}, {"d1", t.D1},
-		{"precedence", t.Precedence}, {"guards", t.Guards},
-		{"cophase", t.CoPhase}, {"orient", t.Orient},
+		{"condense", t.Condense}, {"precedence", t.Precedence},
+		{"guards", t.Guards}, {"cophase", t.CoPhase}, {"orient", t.Orient},
 	} {
 		fmt.Fprintf(&sb, "%-12s %s\n", row.name, row.d)
 	}
@@ -195,6 +312,12 @@ type Result struct {
 	// -pass-stats counters.
 	Regions       int
 	LargestRegion int
+	// RClasses and RClassSplits describe the class-condensed precedence
+	// representation: how many R-equivalence classes the final partition
+	// has and how many splits refinement forced. Zero when the per-access
+	// oracle was selected (Options.PerAccessR).
+	RClasses     int
+	RClassSplits int
 	// Timing records how long each sub-phase took.
 	Timing Timing
 }
@@ -264,23 +387,62 @@ func (res *Result) RefineSync(opts Options) {
 	})
 	res.Timing.D1 = time.Since(t0)
 
-	// Step 3: seed R.
+	// Step 3: seed R. Both seed rules are rectangles over whole access
+	// sets — every post of an event precedes every wait on it, and each
+	// barrier access gets a reflexive edge — which is what lets the
+	// class-condensed backing start from one universal class and only split
+	// where the structure distinguishes members. (A reflexive rectangle
+	// {a} x {a} forces a into a singleton class, reproducing the paper's
+	// per-barrier behavior exactly.)
 	t0 = time.Now()
 	n := len(fn.Accesses)
-	res.R = NewPrecedence(n)
-	for _, a := range fn.Accesses {
-		switch a.Kind {
-		case ir.AccPost:
-			if opts.NoPostWait {
+	if opts.PerAccessR {
+		res.R = NewPrecedence(n)
+	} else if cached := opts.precCache.lookup(res, opts); cached != nil {
+		// The precedence inputs (access kinds/symbols, dominator-classified
+		// D1 pairs, refinement toggles) are unchanged since the previous
+		// edit: R is a pure function of them, so the previous partition is
+		// reused read-only and steps 3-4 are skipped.
+		res.R = cached
+		res.RClasses = res.R.Classes()
+		res.RClassSplits = res.R.ClassSplits()
+		res.Timing.Precedence = time.Since(t0)
+		res.refineSyncRest(opts, syncIDs)
+		return
+	} else {
+		res.R = newClassPrecedence(n)
+	}
+	if !opts.NoPostWait {
+		// Bucket posts and waits per event symbol, in first-seen order so
+		// the seeding sequence (and hence any split order) is deterministic.
+		type eventAccs struct {
+			posts, waits []int32
+		}
+		events := make(map[*sem.Symbol]*eventAccs)
+		var order []*eventAccs
+		for _, a := range fn.Accesses {
+			if a.Kind != ir.AccPost && a.Kind != ir.AccWait {
 				continue
 			}
-			for _, b := range fn.Accesses {
-				if b.Kind == ir.AccWait && eventsMatch(a, b) {
-					res.R.Add(a.ID, b.ID)
-				}
+			ev := events[a.Sym]
+			if ev == nil {
+				ev = &eventAccs{}
+				events[a.Sym] = ev
+				order = append(order, ev)
 			}
-		case ir.AccBarrier:
-			if !opts.NoBarrier {
+			if a.Kind == ir.AccPost {
+				ev.posts = append(ev.posts, int32(a.ID))
+			} else {
+				ev.waits = append(ev.waits, int32(a.ID))
+			}
+		}
+		for _, ev := range order {
+			res.R.addRect(ev.posts, ev.waits)
+		}
+	}
+	if !opts.NoBarrier {
+		for _, a := range fn.Accesses {
+			if a.Kind == ir.AccBarrier {
 				res.R.Add(a.ID, a.ID)
 			}
 		}
@@ -288,10 +450,26 @@ func (res *Result) RefineSync(opts Options) {
 
 	// Step 4: close R under the dominator rule and transitivity.
 	res.refineR()
-	res.Timing.Precedence = time.Since(t0)
+	phase := time.Since(t0)
+	if res.R.cp != nil {
+		res.Timing.Condense = res.R.cp.maint
+		res.RClasses = res.R.Classes()
+		res.RClassSplits = res.R.ClassSplits()
+		opts.precCache.store(res.R)
+	}
+	res.Timing.Precedence = phase - res.Timing.Condense
+
+	res.refineSyncRest(opts, syncIDs)
+}
+
+// refineSyncRest runs the phases after R is available: lock guards, barrier
+// phase partitioning, and the oriented back-path searches (steps 5-6).
+func (res *Result) refineSyncRest(opts Options, syncIDs []int) {
+	fn := res.Fn
+	n := len(fn.Accesses)
 
 	// Lock guards (section 5.3).
-	t0 = time.Now()
+	t0 := time.Now()
 	if !opts.NoLocks {
 		res.Guards = computeGuards(res)
 	} else {
@@ -391,10 +569,12 @@ func (res *Result) RefineSync(opts Options) {
 	// reference oracle re-derives every answer independently of these
 	// precomputed rows.
 	w := graph.WordsFor(n)
-	rt := res.R.rel.Transpose()
 	orientRows := graph.NewBitMatrix(n)
 	for x := 0; x < n; x++ {
-		ox, cx, rx := orientRows.Row(x), res.CS.Row(x), rt.Row(x)
+		// ColRow(x)[y] is R(y, x): the direction x -> y is dropped exactly
+		// when [y, x] ∈ R. Under the class backing the column row is shared
+		// per class, so this sweep reads c distinct rows, not n.
+		ox, cx, rx := orientRows.Row(x), res.CS.Row(x), res.R.ColRow(x)
 		for i := range ox {
 			ox[i] = cx[i] &^ rx[i]
 		}
@@ -440,7 +620,7 @@ func (res *Result) RefineSync(opts Options) {
 		lockRows[bit] = lockMask[l]
 	}
 	cover := func(a, b int, scratch []uint64) []uint64 {
-		ra, rb := res.R.Row(a), rt.Row(b)
+		ra, rb := res.R.Row(a), res.R.ColRow(b)
 		for i := range scratch {
 			scratch[i] = ra[i] | rb[i]
 		}
@@ -494,15 +674,23 @@ func (res *Result) RefineSync(opts Options) {
 	// nodes of one region, only R restricted to that region plus the nodes'
 	// lock-guard sets, so hashing those (in local ids) makes region reuse
 	// exact under global renumbering.
-	nodeSig := func(x int, mask []uint64, lof []int32, s *delay.Sig) {
-		for wi, wd := range res.R.Row(x) {
-			for m := wd & mask[wi]; m != 0; m &= m - 1 {
-				s.Word(uint64(lof[wi<<6+bits.TrailingZeros64(m)]))
+	var nodeSig func(x int, mask []uint64, lof []int32, s *delay.Sig)
+	var classSig func(members []int32, mask []uint64, lof []int32, s *delay.Sig)
+	var classBase, classPhased []int32
+	if res.R.cp != nil {
+		classSig = res.classSigFn(guardBits)
+		classBase, classPhased = res.accessClasses(guardBits)
+	} else {
+		nodeSig = func(x int, mask []uint64, lof []int32, s *delay.Sig) {
+			for wi, wd := range res.R.Row(x) {
+				for m := wd & mask[wi]; m != 0; m &= m - 1 {
+					s.Word(uint64(lof[wi<<6+bits.TrailingZeros64(m)]))
+				}
 			}
-		}
-		s.Word(1 << 63)
-		if guardBits != nil {
-			s.Word(guardBits[x])
+			s.Word(1 << 63)
+			if guardBits != nil {
+				s.Word(guardBits[x])
+			}
 		}
 	}
 	syncPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
@@ -514,6 +702,8 @@ func (res *Result) RefineSync(opts Options) {
 		RemovedExact: true,
 		Cache:        opts.regionCache,
 		NodeSig:      nodeSig,
+		ClassSig:     classSig,
+		AccessClass:  classBase,
 		Exact:        opts.Exact,
 		Reference:    opts.Reference,
 		Engine:       opts.Engine,
@@ -528,6 +718,8 @@ func (res *Result) RefineSync(opts Options) {
 		RemovedExact:  true,
 		Cache:         opts.regionCache,
 		NodeSig:       nodeSig,
+		ClassSig:      classSig,
+		AccessClass:   classPhased,
 		Exact:         opts.Exact,
 		Reference:     opts.Reference,
 		Engine:        opts.Engine,
@@ -642,9 +834,26 @@ func eventsMatch(post, wait *ir.Access) bool {
 	return post.Sym == wait.Sym
 }
 
-// refineR iterates the dominator-based derivation and transitive closure
-// until fixpoint (step 4 of section 5.1).
-func (res *Result) refineR() {
+// succClass and predClass intern the two sides of the dominator
+// derivation. Whether [a1, a2] is derivable depends only on a1's
+// dominated-successor list and a2's dominating-predecessor row, so
+// accesses sharing those collapse into one class and the quadratic scan
+// runs over class pairs. In barrier-phase-heavy programs whole phases
+// share their dominating-successor structure, shrinking the scan by
+// orders of magnitude.
+type succClass struct {
+	succs   []int
+	members []int32
+}
+
+type predClass struct {
+	row     []uint64 // dominating D1 predecessors, as an access bitset
+	members []int32
+}
+
+// derivationClasses builds the interned producer/consumer classes of the
+// step-4 derivation from the dominator-classified D1 pairs.
+func (res *Result) derivationClasses() ([]*succClass, []*predClass) {
 	fn := res.Fn
 	n := len(fn.Accesses)
 	// Precompute D1 adjacency with domination conditions.
@@ -672,18 +881,6 @@ func (res *Result) refineR() {
 			hasPred[p.B] = true
 		}
 	}
-	// Intern both sides of the derivation. Whether [a1, a2] is derivable
-	// depends only on a1's successor list and a2's predecessor row, so
-	// accesses sharing those collapse into one class and the quadratic scan
-	// runs over class pairs. In barrier-phase-heavy programs whole phases
-	// share their dominating-successor structure, shrinking the scan by
-	// orders of magnitude.
-	w := graph.WordsFor(n)
-	type succClass struct {
-		succs   []int
-		members []int
-		u       []uint64 // union of the succs' R rows, rebuilt per round
-	}
 	var sClasses []*succClass
 	sKey := make(map[string]int)
 	var keyBuf []byte
@@ -700,13 +897,9 @@ func (res *Result) refineR() {
 		if !ok {
 			idx = len(sClasses)
 			sKey[string(keyBuf)] = idx
-			sClasses = append(sClasses, &succClass{succs: succs, u: make([]uint64, w)})
+			sClasses = append(sClasses, &succClass{succs: succs})
 		}
-		sClasses[idx].members = append(sClasses[idx].members, a1)
-	}
-	type predClass struct {
-		row     []uint64
-		members []int
+		sClasses[idx].members = append(sClasses[idx].members, int32(a1))
 	}
 	var pClasses []*predClass
 	pKey := make(map[string]int)
@@ -727,36 +920,50 @@ func (res *Result) refineR() {
 			pKey[string(keyBuf)] = idx
 			pClasses = append(pClasses, &predClass{row: row})
 		}
-		pClasses[idx].members = append(pClasses[idx].members, a2)
+		pClasses[idx].members = append(pClasses[idx].members, int32(a2))
 	}
+	return sClasses, pClasses
+}
+
+// refineR iterates the dominator-based derivation and transitive closure
+// until fixpoint (step 4 of section 5.1), dispatching on the backing.
+func (res *Result) refineR() {
+	sClasses, pClasses := res.derivationClasses()
+	if res.R.cp != nil {
+		res.refineRClass(sClasses, pClasses)
+	} else {
+		res.refineRPerAccess(sClasses, pClasses)
+	}
+}
+
+// refineRPerAccess runs the fixpoint on the per-access oracle backing.
+func (res *Result) refineRPerAccess(sClasses []*succClass, pClasses []*predClass) {
+	w := graph.WordsFor(len(res.Fn.Accesses))
 	// derived memoizes class pairs already added to R; R only grows, so a
 	// derivation never needs re-checking once it fires.
 	derived := make([]bool, len(sClasses)*len(pClasses))
+	u := make([]uint64, w)
 	for {
 		changed := res.R.transClose()
 		for si, sc := range sClasses {
-			for i := range sc.u {
-				sc.u[i] = 0
+			for i := range u {
+				u[i] = 0
 			}
 			for _, b1 := range sc.succs {
 				rb := res.R.Row(b1)
-				for i := range sc.u {
-					sc.u[i] |= rb[i]
+				for i := range u {
+					u[i] |= rb[i]
 				}
 			}
 			for pi, pc := range pClasses {
-				if derived[si*len(pClasses)+pi] || !graph.AndAny(sc.u, pc.row) {
+				if derived[si*len(pClasses)+pi] || !graph.AndAny(u, pc.row) {
 					continue
 				}
 				// Some b1 in succs and b2 in preds have [b1, b2] ∈ R: every
 				// member pair of the two classes joins R.
 				derived[si*len(pClasses)+pi] = true
-				for _, a1 := range sc.members {
-					for _, a2 := range pc.members {
-						if res.R.Add(a1, a2) {
-							changed = true
-						}
-					}
+				if res.R.addRect(sc.members, pc.members) {
+					changed = true
 				}
 			}
 		}
@@ -764,6 +971,124 @@ func (res *Result) refineR() {
 			return
 		}
 	}
+}
+
+// refineRClass runs the same fixpoint on the class-condensed backing. The
+// per-round state lives in class coordinates: each producer class's union
+// of R-successors and each consumer class's dominating-predecessor set
+// become nc-bit class vectors, so the derivation test is an intersection
+// of c-bit rows instead of n-bit rows, and a firing derivation adds one
+// rectangle instead of |members|^2 edges.
+//
+// Splits during a round stale the two vector kinds differently. The
+// successor union u is rebuilt per producer from live crel rows, whose
+// set bits stay true across splits (children inherit the parent row and
+// columns), so u staleness is miss-only — and a miss always gets another
+// round, because the crel addition that would reveal it sets changed.
+// The consumer vectors are the dangerous side: pcm[pi] records which
+// classes held a dominating predecessor when the round started, and a
+// split can move the only predecessor out of a class while the stale bit
+// stays set — crel reaching the remnant class would then fire the
+// derivation with no R edge into any predecessor backing it. So once the
+// partition has split past the round start, a screening hit is only
+// provisional: the hit class is re-verified against live membership (does
+// it still hold a dominating predecessor?), which together with u's
+// staleness direction makes the fire exact — a u bit keeps covering the
+// members its class retains, and a verified pcm bit names a predecessor
+// in the class right now. A class that fails verification stays dead for
+// the rest of the round (membership only shrinks between coalesces), so
+// its bit is cleared and the screen consulted again. Verifying one class
+// per hit this way costs a short member scan, where rebuilding vectors —
+// per use or even per hit — was measured at 10x the whole fixpoint.
+func (res *Result) refineRClass(sClasses []*succClass, pClasses []*predClass) {
+	cp := res.R.cp
+	derived := make([]bool, len(sClasses)*len(pClasses))
+	for {
+		// Coalescing before each closure keeps the class count near the
+		// number of distinct R rows: the seed rectangles and mid-round
+		// splits fragment the partition far beyond that, and the closure
+		// that follows is cubic in the class count. The final round fires
+		// nothing, so the fixpoint state is itself coalesced and closed.
+		cp.coalesce()
+		startSplits := cp.splits
+		changed := cp.transClose()
+		wc := cp.wc()
+		pcm := make([][]uint64, len(pClasses))
+		for pi, pc := range pClasses {
+			v := make([]uint64, wc)
+			for wi, wd := range pc.row {
+				for ; wd != 0; wd &= wd - 1 {
+					b2 := wi<<6 + bits.TrailingZeros64(wd)
+					graph.BitSet(v, int(cp.classOf[b2]))
+				}
+			}
+			pcm[pi] = v
+		}
+		u := make([]uint64, wc)
+		for si, sc := range sClasses {
+			for i := range u {
+				u[i] = 0
+			}
+			for _, b1 := range sc.succs {
+				row := cp.rows[cp.classOf[b1]]
+				for i := range u {
+					u[i] |= row[i]
+				}
+			}
+			for pi, pc := range pClasses {
+				if derived[si*len(pClasses)+pi] {
+					continue
+				}
+				hitc := firstCommonBit(u, pcm[pi])
+				if hitc < 0 {
+					continue
+				}
+				if cp.splits != startSplits {
+					// The hit class may have split since the vectors were
+					// built, taking every dominating predecessor with it.
+					// Verify against live membership; a class that fails is
+					// dead for the rest of the round, so drop its bit and
+					// consult the screen again.
+					for hitc >= 0 && !cp.liveInto(hitc, pc.row) {
+						pcm[pi][hitc>>6] &^= 1 << (uint(hitc) & 63)
+						hitc = firstCommonBit(u, pcm[pi])
+					}
+					if hitc < 0 {
+						continue
+					}
+				}
+				derived[si*len(pClasses)+pi] = true
+				if cp.addRect(sc.members, pc.members) {
+					changed = true
+				}
+			}
+		}
+		// A split with no new crel bit still stales the screening vectors
+		// (a successor union built before it can miss bits of the new
+		// class), so a round that split anything must be retried even when
+		// the relation itself did not grow; only a round that neither
+		// changed crel nor split a class certifies the fixpoint.
+		if !changed && cp.splits == startSplits {
+			return
+		}
+	}
+}
+
+// firstCommonBit returns the lowest bit set in both rows' common prefix,
+// or -1. The rows may differ in length when a mid-round class split grew
+// one side; bits beyond the shorter row correspond to classes the other
+// vector was built without, which the next round re-tests.
+func firstCommonBit(a, b []uint64) int {
+	m := len(a)
+	if len(b) < m {
+		m = len(b)
+	}
+	for i := 0; i < m; i++ {
+		if w := a[i] & b[i]; w != 0 {
+			return i<<6 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // computeGuards implements the guarded-access definition of section 5.3.
@@ -1033,6 +1358,10 @@ func (res *Result) Summary() string {
 	fmt.Fprintf(&sb, "baseline delays: %d (Shasha-Snir)\n", res.Baseline.Size())
 	fmt.Fprintf(&sb, "D1 delays:       %d\n", res.D1.Size())
 	fmt.Fprintf(&sb, "precedence |R|:  %d\n", res.R.Size())
+	if c := res.R.Classes(); c > 0 {
+		fmt.Fprintf(&sb, "R classes:       %d (%d splits, %.1fx condensed)\n",
+			c, res.R.ClassSplits(), float64(len(res.Fn.Accesses))/float64(c))
+	}
 	fmt.Fprintf(&sb, "final delays:    %d\n", res.D.Size())
 	guarded := make([]int, 0, len(res.Guards))
 	for id := range res.Guards {
