@@ -138,7 +138,7 @@ func main() {
 	// stays machine-independent.
 	if *exp == "analysis" {
 		any = true
-		rows, err := bench.RunAnalysisScaling(bench.AnalysisSizes, bench.AnalysisTiers)
+		rows, err := bench.RunAnalysisScaling(bench.AnalysisSizes, bench.AnalysisTiers())
 		if err != nil {
 			fatal(err)
 		}

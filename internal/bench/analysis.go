@@ -7,7 +7,10 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/conflict"
@@ -22,11 +25,22 @@ import (
 // AnalysisSizes are the access-count targets of the scaling grid.
 var AnalysisSizes = []int{64, 128, 256, 512}
 
-// AnalysisTiers are the pinned progen scale tiers appended to the grid
-// (see progen.ScaleTiers). Only the 2k tier runs by default: the whole-
-// graph comparison column alone costs ~25s there, and the larger tiers
-// multiply that by the region engine's own asymptotic advantage.
-var AnalysisTiers = []string{"acc2048"}
+// AnalysisTiers returns the pinned progen scale tiers appended to the
+// grid (see progen.ScaleTiers). Only the 2k tier runs by default: the
+// whole-graph comparison column alone costs ~25s there. PSC_SCALE_TIERS=1
+// opts into the 8k and 32k tiers; above wholeEngineCap accesses the
+// whole-graph column is skipped entirely (it needs minutes where the
+// regionized engine needs seconds — the asymmetry is the point).
+func AnalysisTiers() []string {
+	if os.Getenv("PSC_SCALE_TIERS") != "" {
+		return []string{"acc2048", "acc8192", "acc32768"}
+	}
+	return []string{"acc2048"}
+}
+
+// wholeEngineCap is the access count above which the whole-graph
+// comparison column is not measured.
+const wholeEngineCap = 8192
 
 // AnalysisRow is one program size's measurements.
 type AnalysisRow struct {
@@ -39,9 +53,10 @@ type AnalysisRow struct {
 	Regions       int     `json:"regions"`
 	RClasses      int     `json:"r_classes"`      // R-equivalence classes of the condensed precedence
 	CondenseRatio float64 `json:"condense_ratio"` // accesses per class — the row-count reduction factor
+	PeakBytes     uint64  `json:"peak_bytes"`     // sampled peak heap growth of one regionized Analyze
 	DelayMS       float64 `json:"delay_ms"`       // plain Shasha-Snir delay set
 	AnalyzeMS     float64 `json:"analyze_ms"`     // full pipeline, regionized engine
-	WholeMS       float64 `json:"whole_ms"`       // full pipeline, whole-graph engine
+	WholeMS       float64 `json:"whole_ms"`       // full pipeline, whole-graph engine (0 above wholeEngineCap)
 	IncrMS        float64 `json:"incr_ms"`        // incremental recheck of an unchanged rebuild
 }
 
@@ -75,6 +90,57 @@ func analysisProgram(target int) (*ir.Fn, int64, error) {
 	return nil, 0, fmt.Errorf("no progen seed lands near %d accesses", target)
 }
 
+// measurePeakBytes runs fn once and reports its wall clock in ms plus the
+// peak live-heap growth it caused: a sampler polls HeapAlloc while fn
+// runs, against a post-GC baseline. A sampled peak is a lower bound — the
+// poller can miss the true maximum between collections — but it tracks
+// the matrix footprint closely enough to expose an asymptotic regression
+// in row storage.
+func measurePeakBytes(fn func()) (float64, uint64) {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	base := m.HeapAlloc
+	var peak atomic.Uint64
+	peak.Store(base)
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		var s runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			runtime.ReadMemStats(&s)
+			for {
+				old := peak.Load()
+				if s.HeapAlloc <= old || peak.CompareAndSwap(old, s.HeapAlloc) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	start := time.Now()
+	fn()
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	close(done)
+	<-stopped
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	p := peak.Load()
+	if end.HeapAlloc > p {
+		p = end.HeapAlloc
+	}
+	if p < base {
+		return ms, 0
+	}
+	return ms, p - base
+}
+
 // bestOfMS times fn over reps runs and returns the fastest in ms.
 func bestOfMS(reps int, fn func()) float64 {
 	best := time.Duration(1<<63 - 1)
@@ -89,8 +155,9 @@ func bestOfMS(reps int, fn func()) float64 {
 }
 
 // measureRow runs the full measurement battery for one selected program.
-// The expensive whole-graph comparison drops to a single repetition on the
-// pinned tiers, where one run already takes tens of seconds.
+// The expensive columns drop to a single repetition on the pinned tiers,
+// where one run already takes seconds, and the whole-graph comparison is
+// skipped entirely above wholeEngineCap accesses, where it needs minutes.
 func measureRow(fn *ir.Fn, target int, seed int64) AnalysisRow {
 	ag := ir.BuildAccessGraph(fn)
 	cs := conflict.Compute(fn)
@@ -105,6 +172,19 @@ func measureRow(fn *ir.Fn, target int, seed int64) AnalysisRow {
 	if res.RClasses > 0 {
 		ratio = float64(len(fn.Accesses)) / float64(res.RClasses)
 	}
+	wholeMS := 0.0
+	if len(fn.Accesses) <= wholeEngineCap {
+		wholeMS = bestOfMS(reps, func() {
+			syncanal.Analyze(fn, syncanal.Options{Engine: delay.EngineWhole})
+		})
+	}
+	// The peak-heap sampling run doubles as the single timed repetition on
+	// the pinned tiers, where one full Analyze is already seconds-to-minutes
+	// of wall clock; the small sizes re-time without the sampler's overhead.
+	analyzeMS, peakBytes := measurePeakBytes(func() { syncanal.Analyze(fn, syncanal.Options{}) })
+	if reps > 1 {
+		analyzeMS = bestOfMS(reps, func() { syncanal.Analyze(fn, syncanal.Options{}) })
+	}
 	return AnalysisRow{
 		Target:        target,
 		Seed:          seed,
@@ -115,12 +195,11 @@ func measureRow(fn *ir.Fn, target int, seed int64) AnalysisRow {
 		Regions:       res.Regions,
 		RClasses:      res.RClasses,
 		CondenseRatio: ratio,
-		DelayMS:       bestOfMS(3, func() { delay.ShashaSnir(ag, cs) }),
-		AnalyzeMS:     bestOfMS(reps, func() { syncanal.Analyze(fn, syncanal.Options{}) }),
-		WholeMS: bestOfMS(reps, func() {
-			syncanal.Analyze(fn, syncanal.Options{Engine: delay.EngineWhole})
-		}),
-		IncrMS: bestOfMS(3, func() { inc.Analyze(fn) }),
+		PeakBytes:     peakBytes,
+		DelayMS:       bestOfMS(reps, func() { delay.ShashaSnir(ag, cs) }),
+		AnalyzeMS:     analyzeMS,
+		WholeMS:       wholeMS,
+		IncrMS:        bestOfMS(3, func() { inc.Analyze(fn) }),
 	}
 }
 
@@ -162,12 +241,16 @@ func RunAnalysisScaling(sizes []int, tiers []string) ([]AnalysisRow, error) {
 func FormatAnalysis(rows []AnalysisRow) string {
 	var sb strings.Builder
 	sb.WriteString("Analysis scaling (progen programs; best of 3, tiers best of 1)\n")
-	sb.WriteString("  accesses  conflicts  baseline|D|  final|D|  regions  classes  condense   delay ms  analyze ms    whole ms  incr ms\n")
+	sb.WriteString("  accesses  conflicts  baseline|D|  final|D|  regions  classes  condense   peak MB   delay ms  analyze ms    whole ms  incr ms\n")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "  %8d  %9d  %11d  %8d  %7d  %7d  %7.1fx  %9.2f  %10.2f  %10.2f  %7.2f\n",
+		whole := fmt.Sprintf("%10.2f", r.WholeMS)
+		if r.WholeMS == 0 {
+			whole = "   skipped"
+		}
+		fmt.Fprintf(&sb, "  %8d  %9d  %11d  %8d  %7d  %7d  %7.1fx  %8.1f  %9.2f  %10.2f  %s  %7.2f\n",
 			r.Accesses, r.ConflictPairs, r.BaselinePairs, r.FinalPairs, r.Regions,
-			r.RClasses, r.CondenseRatio,
-			r.DelayMS, r.AnalyzeMS, r.WholeMS, r.IncrMS)
+			r.RClasses, r.CondenseRatio, float64(r.PeakBytes)/(1<<20),
+			r.DelayMS, r.AnalyzeMS, whole, r.IncrMS)
 	}
 	return sb.String()
 }

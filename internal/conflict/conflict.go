@@ -41,8 +41,9 @@ import (
 // compresses the quadratic conflict edge set through the same groups.
 type Set struct {
 	fn       *ir.Fn
-	partners [][]int          // partners[a], shared with the group (sorted)
-	matrix   *graph.BitMatrix // n x n symmetric adjacency
+	partners [][]int    // partners[a], shared with the group (sorted)
+	groupRow [][]uint64 // group -> shared expanded conflict row (n bits)
+	rowBits  []int      // group -> popcount of groupRow
 	n        int
 
 	groupOf  []int32    // access -> group
@@ -54,7 +55,7 @@ type Set struct {
 // Compute builds the conflict set for fn.
 func Compute(fn *ir.Fn) *Set {
 	n := len(fn.Accesses)
-	s := &Set{fn: fn, partners: make([][]int, n), matrix: graph.NewBitMatrix(n), n: n}
+	s := &Set{fn: fn, partners: make([][]int, n), n: n}
 
 	// Partition into similarity groups.
 	type key struct {
@@ -103,13 +104,13 @@ func Compute(fn *ir.Fn) *Set {
 	}
 
 	// Row content is per group: the union of the conflicting groups'
-	// member masks, copied to each member's matrix row. The shared partner
-	// list is decoded once per group from the same row.
-	row := make([]uint64, w)
+	// member masks, stored once and shared by every member — O(g*n/64)
+	// words total where the per-access matrix was O(n^2/64). The shared
+	// partner list is decoded once per group from the same row.
+	s.groupRow = make([][]uint64, g)
+	s.rowBits = make([]int, g)
 	for gi := 0; gi < g; gi++ {
-		for i := range row {
-			row[i] = 0
-		}
+		row := make([]uint64, w)
 		cnt := 0
 		for _, gj := range s.groupAdj[gi] {
 			for i, mw := range s.members[gj] {
@@ -119,6 +120,8 @@ func Compute(fn *ir.Fn) *Set {
 		for _, rw := range row {
 			cnt += bits.OnesCount64(rw)
 		}
+		s.groupRow[gi] = row
+		s.rowBits[gi] = cnt
 		var plist []int
 		if cnt > 0 {
 			plist = make([]int, 0, cnt)
@@ -130,7 +133,6 @@ func Compute(fn *ir.Fn) *Set {
 		}
 		for i := 0; i < n; i++ {
 			if s.groupOf[i] == int32(gi) {
-				copy(s.matrix.Row(i), row)
 				s.partners[i] = plist
 			}
 		}
@@ -185,15 +187,18 @@ func indexDistinct(fn *ir.Fn, a, b *ir.Access) bool {
 }
 
 // Conflicts reports whether accesses a and b conflict.
-func (s *Set) Conflicts(a, b int) bool { return s.matrix.Has(a, b) }
+func (s *Set) Conflicts(a, b int) bool {
+	return graph.BitGet(s.groupRow[s.groupOf[a]], b)
+}
 
 // Partners returns the accesses conflicting with a (sorted ascending).
 // The result is shared; callers must not modify it.
 func (s *Set) Partners(a int) []int { return s.partners[a] }
 
 // Row returns a's conflict row as a shared bitset of graph.WordsFor(n)
-// words; callers must not modify it.
-func (s *Set) Row(a int) []uint64 { return s.matrix.Row(a) }
+// words; callers must not modify it. The row is physically shared with
+// every access of a's similarity group.
+func (s *Set) Row(a int) []uint64 { return s.groupRow[s.groupOf[a]] }
 
 // Pairs returns the unordered conflict pairs (a <= b).
 func (s *Set) Pairs() [][2]int {
@@ -208,12 +213,14 @@ func (s *Set) Pairs() [][2]int {
 	return out
 }
 
-// Size returns the number of unordered conflict pairs, counted from row
-// popcounts without materializing the pair list.
+// Size returns the number of unordered conflict pairs, counted from the
+// per-group row popcounts without materializing any per-access rows.
 func (s *Set) Size() int {
-	c := s.matrix.Count()
+	c := 0
 	for a := 0; a < s.n; a++ {
-		if s.matrix.Has(a, a) {
+		g := s.groupOf[a]
+		c += s.rowBits[g]
+		if graph.BitGet(s.groupRow[g], a) {
 			c++ // self-conflicts sit on the diagonal only once
 		}
 	}

@@ -1,0 +1,87 @@
+package delay
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"repro/internal/conflict"
+	"repro/internal/ir"
+	"repro/internal/progen"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+// TestBaselineClassCondensedGrid is the wide differential for the
+// class-condensed baseline: the regionized engine answers the symmetric
+// unconstrained (plain Shasha-Snir) computation through per-(target,
+// source-group) cell verdicts — witness-extreme intervals on the shared
+// base sweep — and must stay pair-identical to the whole-graph batched
+// engine on every seed of a 150-seed grid. Seeds that fail to build are
+// skipped; the grid must still yield a healthy number of programs.
+func TestBaselineClassCondensedGrid(t *testing.T) {
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 4, MaxStmts: 10, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	checked := 0
+	for seed := int64(0); seed < 150; seed++ {
+		prog, err := source.Parse(progen.Generate(seed, opts))
+		if err != nil {
+			continue
+		}
+		info, err := sem.Check(prog)
+		if err != nil {
+			continue
+		}
+		fn, err := ir.Build(info, ir.BuildOptions{Procs: 4})
+		if err != nil || len(fn.Accesses) == 0 {
+			continue
+		}
+		ag := ir.BuildAccessGraph(fn)
+		cs := conflict.Compute(fn)
+		got := Compute(ag, cs, Constraints{})
+		want := Compute(ag, cs, Constraints{Engine: EngineWhole})
+		pairsEqual(t, fmt.Sprintf("baseline seed %d (n=%d)", seed, len(fn.Accesses)), got, want)
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d of 150 seeds built, want >= 100", checked)
+	}
+}
+
+// TestBaselineClassCondensedTiers pins the same property on the 2k scale
+// tier, where the group-major fast path and its cell cache actually carry
+// the load. Larger tiers are out of reach for the oracle side: the
+// whole-graph engine needs upwards of seven minutes at 8k accesses (the
+// asymmetry the condensed engine exists to fix), so acc8192 coverage
+// comes from the pinned |R|/|D| sizes in the syncanal tier tests instead.
+func TestBaselineClassCondensedTiers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second tier differential in -short mode")
+	}
+	for _, name := range []string{"acc2048"} {
+		fn := tierFn(t, name)
+		ag := ir.BuildAccessGraph(fn)
+		cs := conflict.Compute(fn)
+		got := Compute(ag, cs, Constraints{})
+		want := Compute(ag, cs, Constraints{Engine: EngineWhole})
+		if g, w := got.Size(), want.Size(); g != w {
+			t.Fatalf("%s: condensed baseline %d pairs vs whole %d", name, g, w)
+		}
+		// Equal sizes plus containment one way is row equality: the whole
+		// engine's set is sparse, so decode the dense rows against it.
+		n := len(fn.Accesses)
+		for b := 0; b < n; b++ {
+			row := got.TargetRow(b)
+			for wi, wd := range row {
+				for ; wd != 0; wd &= wd - 1 {
+					a := wi<<6 + bits.TrailingZeros64(wd)
+					if !want.Has(a, b) {
+						t.Fatalf("%s: condensed pair [%d,%d] absent from whole oracle", name, a, b)
+					}
+				}
+			}
+		}
+	}
+}

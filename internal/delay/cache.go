@@ -131,7 +131,7 @@ func cacheUsable(con Constraints) bool {
 // sentinels (high-bit-tagged words no local id can produce) keep
 // variable-length parts from aliasing each other.
 func regionSig(ag *ir.AccessGraph, con Constraints, comp []int32, c int,
-	members []int32, mask []uint64, lof []int32, dirOut *graph.BitMatrix, em []uint64) Sig {
+	members []int32, mask []uint64, lof []int32, dirOut graph.Rows, em []uint64) Sig {
 
 	s := NewSig()
 	s.Word(uint64(len(members)))

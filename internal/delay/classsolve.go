@@ -35,8 +35,8 @@ import (
 // unsupported; the caller then runs denseSolve.
 func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 	members []int32, mask []uint64, lof []int32,
-	dirOut, dirIn *graph.BitMatrix, em []uint64,
-	gd *graph.BitMatrix, sc *regionScratch) bool {
+	dirOut, dirIn graph.Rows, em []uint64,
+	gd *mixedAdj, sc *regionScratch) bool {
 
 	nl := len(members)
 	lw := graph.WordsFor(nl)
@@ -154,6 +154,9 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 	var lt *graph.BitMatrix // L's transpose, for witness-predecessor rows
 	var cvis []uint64
 	var ctin, ctout []int32
+	var sbS, tbS, vbS []uint64 // sparse-bracket scratch (survivors, targets, visited)
+	slBuf := make([]int32, 0, sparseCap+1)
+	var selfT []int32
 	tepoch := int32(0) // advances per tree group
 	bepoch := int32(0) // advances per target class
 	lepoch := int32(0) // advances per target access
@@ -205,16 +208,21 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 						a := wi<<6 + bits.TrailingZeros64(word)
 						la := int(lof[a])
 						st := &slots[lcOf[la]]
-						tla := tl.Row(la)
-						selfConf := graph.BitGet(tla, la)
 
 						// Tier 0: a seed that is itself a witness is accepted
 						// by the reference before any la/lb filtering — even
 						// when it equals la — so the whole (a-class, tree)
 						// cell is TRUE.
-						// Tier 1: shared-tree interval certificate.
+						// Tier 1: shared-tree interval certificate. Per
+						// (a-class, target) cell the witnesses OUTSIDE
+						// subtree(lb) are summarized once by their count and
+						// entry-time extremes; a pair then has an uncovered
+						// witness iff subtree(la) fails to bracket those
+						// extremes — three integer compares on the hot path
+						// instead of a rank query per pair.
 						if st.e1 != tepoch {
 							st.e1 = tepoch
+							tla := tl.Row(la)
 							st.sw = graph.AndAny(seedsRow, tla)
 							if !st.sw {
 								st.w1.build(tla, flowB.vis, flowB.tin, tw)
@@ -226,10 +234,14 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 						} else if st.w1.total == 0 {
 							dec = true // unreachable even without the cut
 						} else {
-							cov := coveredCount(&st.w1, flowB.vis, flowB.tin, flowB.tout, la, lb)
-							if cov < st.w1.total {
-								dec, res = true, true
-							} else if selfConf && graph.BitGet(flowB.vis, la) &&
+							if st.eX != lepoch {
+								st.eX = lepoch
+								st.xOut, st.xMin, st.xMax = st.w1.outside(flowB.vis, flowB.tin, flowB.tout, lb)
+							}
+							if st.xOut > 0 &&
+								!(graph.BitGet(flowB.vis, la) && flowB.tin[la] <= st.xMin && st.xMax <= flowB.tout[la]) {
+								dec, res = true, true // witness outside both subtrees
+							} else if graph.BitGet(tl.Row(la), la) && graph.BitGet(flowB.vis, la) &&
 								!inSubtree(flowB.vis, flowB.tin, flowB.tout, lb, la) {
 								dec, res = true, true // witness y == a, tree path avoids b
 							}
@@ -245,6 +257,8 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 						// FALSE: the reference's accepted targets are a subset
 						// of cut-reach because a target is never lb here.
 						if !dec {
+							tla := tl.Row(la)
+							selfConf := graph.BitGet(tla, la)
 							if !cutReady {
 								cutReady = true
 								if graph.BitGet(seedsRow, lb) {
@@ -314,7 +328,7 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 
 						// Tier 2: the exact per-pair search.
 						if !dec {
-							res = df.AvoidReach(seeds, lb, la, tla)
+							res = df.AvoidReach(seeds, lb, la, tl.Row(la))
 						}
 						if !res {
 							continue
@@ -358,8 +372,6 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 								}
 								if !covHit {
 									st.s2 = s2Keep // no removable access reachable
-								} else if gd == nil {
-									st.s2 = s2PerPair
 								} else {
 									if st.aG == nil {
 										st.aG = make([]uint64, len(mask))
@@ -367,16 +379,55 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 											graph.BitSet(st.aG, int(members[v]))
 										}
 									}
-									if bGEp != bepoch {
-										bGEp = bepoch
-										for i := range bG {
-											bG[i] = 0
-										}
-										for _, v := range byClass[bc] {
-											graph.BitSet(bG, int(members[v]))
+									// Drop screen: every removal-stage search —
+									// bracket passes and per-pair residues alike —
+									// seeds from the target's conflict row and so
+									// reaches only within the group's uncut reach.
+									// A cell none of whose surviving witnesses
+									// (outside the cover, or exempt as the
+									// a-class) is uncut-reachable drops outright.
+									ta := dirIn.Row(a)
+									survReach := false
+									for i, w := range visG {
+										t := ta[i] & mask[i]
+										if s := t&^covG[i] | t&st.aG[i]; s&w != 0 {
+											survReach = true
+											break
 										}
 									}
-									st.s2 = cellRestrict(gd, mask, covG, dirIn.Row(a), dirOut.Row(gb), st.aG, bG, sc.vis, sc.teff, sc.queue)
+									if !survReach {
+										st.s2 = s2Drop
+									} else if gd == nil {
+										st.s2 = s2PerPair
+									} else {
+										if bGEp != bepoch {
+											bGEp = bepoch
+											for i := range bG {
+												bG[i] = 0
+											}
+											for _, v := range byClass[bc] {
+												graph.BitSet(bG, int(members[v]))
+											}
+										}
+										var sparse bool
+										slBuf, sparse = survivorList(mask, covG, slBuf, sparseCap)
+										if sparse {
+											if sbS == nil {
+												sbS = make([]uint64, len(mask))
+												tbS = make([]uint64, len(mask))
+												vbS = make([]uint64, len(mask))
+											}
+											selfT = selfT[:0]
+											for _, v := range byClass[lcOf[la]] {
+												if gv := int(members[v]); graph.BitGet(ta, gv) {
+													selfT = append(selfT, int32(gv))
+												}
+											}
+											st.s2, sc.queue = sparseCellRestrict(gd, ta, dirOut.Row(gb), st.aG, bG, slBuf, selfT, sbS, tbS, vbS, sc.queue)
+										} else {
+											st.s2 = cellRestrict(gd, mask, covG, ta, dirOut.Row(gb), st.aG, bG, sc.vis, sc.teff, sc.queue)
+										}
+									}
 								}
 							}
 							if st.s2 == s2Drop {
@@ -396,7 +447,7 @@ func classSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 										pstack = make([]int32, 0, nl)
 									}
 									var hitP bool
-									pstack, hitP = densePairSearch(L, pvis, pstack, tla, members, seeds, a, la, gb, lb, con.Removed)
+									pstack, hitP = densePairSearch(L, pvis, pstack, tl.Row(la), members, seeds, a, la, gb, lb, con.Removed)
 									if !hitP {
 										continue
 									}
@@ -432,6 +483,13 @@ type aclsSlot struct {
 	sw bool // some seed is itself a witness: whole cell TRUE
 	w1 witStats
 
+	// Witnesses outside subtree(lb) on the shared tree, summarized per
+	// (a-class, target access): count and entry-time extremes. The tier-1
+	// per-pair test reduces to "does subtree(la) bracket [xMin, xMax]".
+	eX         int32
+	xOut       int32
+	xMin, xMax int32
+
 	eC   int32
 	wCut witStats
 
@@ -452,6 +510,10 @@ const (
 	s2PerPair              // bracket inconclusive: exact per-pair search
 )
 
+// sparseCap bounds the survivor count under which the Removed-stage
+// bracket runs on the survivor subgraph instead of the full-width sweeps.
+const sparseCap = 128
+
 // cellRestrict brackets one (a-class, b-class) cell of the Removed
 // stage. The pessimistic search blocks every member of both classes as
 // interior — an under-approximation of any single pair's search, which
@@ -460,7 +522,7 @@ const (
 // a-class as exempt targets — an over-approximation — so exhausting it
 // proves all pairs FALSE. Targets are tested before the interior filter,
 // matching the reference's removed-before-target ordering.
-func cellRestrict(gd *graph.BitMatrix, mask, cov, ta, drow, aG, bG, vis, teff []uint64, queue []int32) uint8 {
+func cellRestrict(gd *mixedAdj, mask, cov, ta, drow, aG, bG, vis, teff []uint64, queue []int32) uint8 {
 	// Pessimistic pass: interior = region complement ∪ cover ∪ both classes.
 	any := false
 	for i := range teff {
@@ -508,11 +570,160 @@ func cellRestrict(gd *graph.BitMatrix, mask, cov, ta, drow, aG, bG, vis, teff []
 	return s2Drop
 }
 
+// survivorList collects the region nodes outside the cover, bailing out
+// once more than max survive (the dense bracket is cheaper then).
+func survivorList(mask, cov []uint64, sl []int32, max int) ([]int32, bool) {
+	sl = sl[:0]
+	for wi, w := range mask {
+		for m := w &^ cov[wi]; m != 0; m &= m - 1 {
+			if len(sl) == max {
+				return sl, false
+			}
+			sl = append(sl, int32(wi<<6+bits.TrailingZeros64(m)))
+		}
+	}
+	return sl, true
+}
+
+// sparseCellRestrict is cellRestrict on the survivor subgraph: when the
+// cover blocks all but a handful of region nodes, both bracket passes can
+// only ever visit survivors, so the full-width sweeps collapse to list
+// walks over sl (= mask &^ cov). selfT lists the a-class members that are
+// witnesses — the optimistic pass's extra targets, which stay targets
+// even when covered. sb/tb/vb are zeroed scratch bitsets of global width,
+// left zeroed again on return.
+func sparseCellRestrict(gd *mixedAdj, ta, drow, aG, bG []uint64,
+	sl, selfT []int32, sb, tb, vb []uint64, queue []int32) (uint8, []int32) {
+	for _, v := range sl {
+		graph.BitSet(sb, int(v))
+	}
+	clean := func() {
+		for _, v := range sl {
+			graph.BitClear(sb, int(v))
+			graph.BitClear(tb, int(v))
+		}
+		for _, v := range selfT {
+			graph.BitClear(tb, int(v))
+		}
+	}
+	// Pessimistic pass: targets are the surviving witnesses; expansion
+	// only through survivors outside both classes. A hit proves every
+	// pair of the cell survives removal (blocking whole classes
+	// under-approximates blocking one endpoint pair).
+	hit := false
+	nt := 0
+	for _, v := range sl {
+		if graph.BitGet(ta, int(v)) {
+			graph.BitSet(tb, int(v))
+			nt++
+			if graph.BitGet(drow, int(v)) {
+				hit = true // seed-step target, as restrictSweep's first loop
+			}
+		}
+	}
+	if nt > 0 && !hit {
+		queue = queue[:0]
+		for _, v := range sl {
+			if graph.BitGet(drow, int(v)) && !graph.BitGet(aG, int(v)) && !graph.BitGet(bG, int(v)) {
+				graph.BitSet(vb, int(v))
+				queue = append(queue, v)
+			}
+		}
+		hit = sparseSweep(gd, aG, bG, true, nil, sl, sb, tb, vb, &queue)
+		for _, v := range sl {
+			graph.BitClear(vb, int(v))
+		}
+	}
+	if hit {
+		clean()
+		return s2Keep, queue
+	}
+	// Optimistic pass: interior is the cover alone, targets widened by the
+	// a-class exemption; exhausting it proves no pair survives.
+	for _, v := range selfT {
+		graph.BitSet(tb, int(v))
+		if graph.BitGet(drow, int(v)) {
+			hit = true
+		}
+	}
+	if nt == 0 && len(selfT) == 0 {
+		clean()
+		return s2Drop, queue
+	}
+	if !hit {
+		queue = queue[:0]
+		for _, v := range sl {
+			if graph.BitGet(drow, int(v)) {
+				graph.BitSet(vb, int(v))
+				queue = append(queue, v)
+			}
+		}
+		hit = sparseSweep(gd, nil, nil, false, selfT, sl, sb, tb, vb, &queue)
+		for _, v := range sl {
+			graph.BitClear(vb, int(v))
+		}
+	}
+	clean()
+	if hit {
+		return s2PerPair, queue
+	}
+	return s2Drop, queue
+}
+
+// sparseSweep is restrictSweep over the survivor subgraph: per queue node
+// the dense-row scan walks the survivor list instead of the full width,
+// and extraT (targets outside the survivor set — the optimistic pass's
+// covered a-class members) is tested against the raw row, matching the
+// reference's targets-before-interior ordering.
+func sparseSweep(gd *mixedAdj, aG, bG []uint64, pess bool,
+	extraT, sl []int32, sb, tb, vb []uint64, queue *[]int32) bool {
+	q := *queue
+	for qi := 0; qi < len(q); qi++ {
+		u := int(q[qi])
+		row := gd.dir.Row(u)
+		for _, x := range extraT {
+			if graph.BitGet(row, int(x)) {
+				*queue = q
+				return true
+			}
+		}
+		for _, v32 := range sl {
+			v := int(v32)
+			if !graph.BitGet(row, v) {
+				continue
+			}
+			if graph.BitGet(tb, v) {
+				*queue = q
+				return true
+			}
+			if graph.BitGet(vb, v) || (pess && (graph.BitGet(aG, v) || graph.BitGet(bG, v))) {
+				continue
+			}
+			graph.BitSet(vb, v)
+			q = append(q, v32)
+		}
+		for _, v := range gd.adj[u] {
+			if graph.BitGet(tb, v) {
+				*queue = q
+				return true
+			}
+			if !graph.BitGet(sb, v) || graph.BitGet(vb, v) ||
+				(pess && (graph.BitGet(aG, v) || graph.BitGet(bG, v))) {
+				continue
+			}
+			graph.BitSet(vb, v)
+			q = append(q, int32(v))
+		}
+	}
+	*queue = q
+	return false
+}
+
 // restrictSweep runs the shared body of both cellRestrict passes: one
 // seed step over the target class's conflict row, then a masked BFS on
 // the global mixed adjacency, accepting any teff target on generation.
 // queue may arrive pre-seeded (the b-self continuation).
-func restrictSweep(gd *graph.BitMatrix, drow, mask, vis, teff []uint64, queue *[]int32) bool {
+func restrictSweep(gd *mixedAdj, drow, mask, vis, teff []uint64, queue *[]int32) bool {
 	q := *queue
 	for wi := range vis {
 		sw := drow[wi] & mask[wi]
@@ -530,7 +741,8 @@ func restrictSweep(gd *graph.BitMatrix, drow, mask, vis, teff []uint64, queue *[
 		}
 	}
 	for qi := 0; qi < len(q); qi++ {
-		row := gd.Row(int(q[qi]))
+		u := int(q[qi])
+		row := gd.dir.Row(u)
 		for wi := range vis {
 			if row[wi]&teff[wi] != 0 {
 				*queue = q
@@ -543,6 +755,16 @@ func restrictSweep(gd *graph.BitMatrix, drow, mask, vis, teff []uint64, queue *[
 			vis[wi] |= nw
 			for ; nw != 0; nw &= nw - 1 {
 				q = append(q, int32(wi<<6+bits.TrailingZeros64(nw)))
+			}
+		}
+		for _, v := range gd.adj[u] {
+			if graph.BitGet(teff, v) {
+				*queue = q
+				return true
+			}
+			if !graph.BitGet(vis, v) {
+				graph.BitSet(vis, v)
+				q = append(q, int32(v))
 			}
 		}
 	}
@@ -747,6 +969,8 @@ type witStats struct {
 	wbits []uint64
 	pref  []int32
 	total int32
+	// Global entry-time extremes over all witnesses (valid when total > 0).
+	tmin0, tmax0 int32
 }
 
 func (st *witStats) build(tla, vis []uint64, tin []int32, tw int) {
@@ -764,12 +988,71 @@ func (st *witStats) build(tla, vis []uint64, tin []int32, tw int) {
 		}
 	}
 	run := int32(0)
+	loW, hiW := -1, -1
 	for i, wd := range st.wbits {
 		st.pref[i] = run
 		run += int32(bits.OnesCount64(wd))
+		if wd != 0 {
+			if loW == -1 {
+				loW = i
+			}
+			hiW = i
+		}
 	}
 	st.pref[tw] = run
 	st.total = run
+	if run > 0 {
+		st.tmin0 = int32(loW<<6 + bits.TrailingZeros64(st.wbits[loW]))
+		st.tmax0 = int32(hiW<<6 + 63 - bits.LeadingZeros64(st.wbits[hiW]))
+	}
+}
+
+// selectKth returns the entry time of the k-th witness, 1-based (caller
+// guarantees 1 <= k <= total): binary search on the per-word prefix
+// counts, then an in-word select.
+func (st *witStats) selectKth(k int32) int32 {
+	lo, hi := 0, len(st.pref)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if st.pref[mid] < k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	w := st.wbits[lo]
+	for j := k - st.pref[lo]; j > 1; j-- {
+		w &= w - 1
+	}
+	return int32(lo<<6 + bits.TrailingZeros64(w))
+}
+
+// outside summarizes the witnesses lying OUTSIDE subtree(lb): their count
+// and their entry-time extremes. With first-visit intervals, a witness is
+// outside iff its entry time falls outside [tin[lb], tout[lb]], so the
+// extremes come from the global extremes when those already escape the
+// interval and from one rank-directed select otherwise.
+func (st *witStats) outside(vis []uint64, tin, tout []int32, lb int) (count, tmin, tmax int32) {
+	if !graph.BitGet(vis, lb) {
+		return st.total, st.tmin0, st.tmax0
+	}
+	below := st.cumBelow(tin[lb])
+	aboveStart := st.cumBelow(tout[lb] + 1)
+	count = st.total - (aboveStart - below)
+	if count == 0 {
+		return 0, 0, 0
+	}
+	if below > 0 {
+		tmin = st.tmin0
+	} else {
+		tmin = st.selectKth(aboveStart + 1) // first witness past the subtree
+	}
+	if aboveStart < st.total {
+		tmax = st.tmax0
+	} else {
+		tmax = st.selectKth(below) // last witness before the subtree
+	}
+	return count, tmin, tmax
 }
 
 // cumBelow counts witness entry times strictly below t.

@@ -147,6 +147,28 @@ func (s *Set) orTargetRow(b int, as []uint64) {
 // The receiver must be dense; callers must not modify the row.
 func (s *Set) targetRow(b int) []uint64 { return s.byB.Row(b) }
 
+// TargetRow returns target b's dense row as a source-access bitset (bit a
+// set iff [a, b] present), or nil when the set is sparse. Callers must not
+// modify the row. This is the word-parallel consumption path: the
+// precedence derivation filters whole target rows against dominator masks
+// instead of iterating Pairs.
+func (s *Set) TargetRow(b int) []uint64 {
+	if s.byB == nil {
+		return nil
+	}
+	return s.byB.Row(b)
+}
+
+// SourceMatrix returns the A-major transpose of a dense set (row a holds
+// the targets of every [a, b]), or nil when the set is sparse. The matrix
+// is freshly built on each call; the caller owns it.
+func (s *Set) SourceMatrix() *graph.BitMatrix {
+	if s.byB == nil {
+		return nil
+	}
+	return s.byB.Transpose()
+}
+
 // index (re)builds the sorted cache and the per-A offset table.
 func (s *Set) index() {
 	if s.sorted != nil {
@@ -302,13 +324,24 @@ type Constraints struct {
 	Endpoints []int
 	// EndpointsMode interprets Endpoints; the zero value is include.
 	EndpointsMode EndpointsMode
-	// DirRows, when non-nil, supplies the directed conflict adjacency as a
-	// bit matrix (bit (x, y) set iff the conflict edge x -> y is usable).
+	// DirRows, when non-nil, supplies the directed conflict adjacency as
+	// row bitsets (bit (x, y) set iff the conflict edge x -> y is usable).
 	// It must agree with ConflictDir when both are set. The regionized
 	// engine consumes it word-parallel instead of calling ConflictDir per
 	// edge; the whole-graph and reference engines keep using ConflictDir,
-	// which preserves their independence as oracles.
-	DirRows *graph.BitMatrix
+	// which preserves their independence as oracles. A *graph.ClassRows
+	// backing shares one physical row per equivalence class, so callers
+	// with class structure (AccessClass) never materialize n rows.
+	DirRows graph.Rows
+	// Comp, when non-nil, supplies a precomputed condensation of the mixed
+	// graph (program order plus DirRows/ConflictDir edges) for the directed
+	// regionized engine. Its components must be closed under the mixed
+	// edges: any union of SCCs of a SUPERgraph is sound, because every
+	// back-path of the actual graph stays inside one component of any
+	// coarser closed partition. Callers that run several passes over
+	// shrinking edge sets (syncanal's oriented passes) condense once and
+	// share the result.
+	Comp *graph.Condensation
 	// RemovedCover, when non-nil alongside Removed, writes into scratch a
 	// bitset covering every access the Removed predicate would exclude for
 	// the pair (a, b) (extra bits are fine) and returns it. The regionized
@@ -389,7 +422,7 @@ const (
 func (c Constraints) flattened(n int) Constraints {
 	if c.ConflictDir == nil && c.DirRows != nil {
 		dm := c.DirRows
-		c.ConflictDir = func(x, y int) bool { return dm.Has(x, y) }
+		c.ConflictDir = func(x, y int) bool { return graph.BitGet(dm.Row(x), y) }
 	}
 	if c.Endpoints != nil {
 		em := make([]uint64, graph.WordsFor(n))

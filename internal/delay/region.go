@@ -55,6 +55,19 @@ type hubScratch struct {
 	base    *graph.FlowDom
 	pools   [][]int32
 	poolBuf []int32
+
+	// Class-condensed cell cache: the baseline verdict for (target b,
+	// source a) depends on a only through a's conflict group and a's
+	// position in the base first-visit tree, so fastSweep summarizes each
+	// (b, source-group) cell once — witness count class plus entry-time
+	// extremes of the witnesses surviving the subtree(b) screen — and
+	// answers members with two interval comparisons. Stamps are bumped
+	// per target.
+	cellEp   []int32
+	cellSt   []uint8
+	cellMin  []int32
+	cellMax  []int32
+	cellTick int32
 }
 
 // computeRegion is the regionized engine entry point.
@@ -353,7 +366,28 @@ func hubCompute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set)
 	// is exactly FALSE, because the cut sweep visits a subset of the base
 	// sweep. It reports false when some candidate was decided neither way
 	// and the caller must fall back to the exact per-source sweep.
-	const poolK = 4
+	//
+	// The verdict is class-condensed: it depends on the source a only
+	// through a's conflict group (which fixes the witness pools) and a's
+	// subtree interval in the base tree. So per (b, source-group) cell the
+	// sweep computes one summary — cellFalse (no pool member base-visited:
+	// every member is exactly FALSE), cellNone (witnesses exist but all
+	// inside subtree(b): inconclusive), or cellSome with the entry-time
+	// extremes [mn, mx] of the witnesses surviving the subtree(b) screen.
+	// A member a then resolves in O(1): unvisited a is TRUE (the surviving
+	// witness is base-visited, hence distinct from a, and the subtree(a)
+	// screen is moot); visited a is TRUE unless its interval covers
+	// [mn, mx], i.e. every surviving witness sits inside subtree(a) — the
+	// witness rejection "y == a" folds in because a's interval always
+	// covers its own entry time. Only the covering members — an ancestor
+	// chain of the witness span, plus self-conflict residue — need
+	// per-access treatment.
+	const (
+		poolK     = 4
+		cellFalse = uint8(iota)
+		cellNone
+		cellSome
+	)
 	fastSweep := func(s *hubScratch, b int) bool {
 		cand := s.cand
 		if !candidateRow(ag, b, em, con.EndpointsMode, cand) {
@@ -375,49 +409,79 @@ func hubCompute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set)
 			return true
 		}
 		base := s.base
+		btin, btout := base.TreeTimes()
 		bVis := base.Visited(b)
+		if s.cellEp == nil {
+			s.cellEp = make([]int32, G)
+			s.cellSt = make([]uint8, G)
+			s.cellMin = make([]int32, G)
+			s.cellMax = make([]int32, G)
+		}
+		s.cellTick++
 		done := true
 		for wi, word := range cand {
 			for ; word != 0; word &= word - 1 {
 				a := wi<<6 + bits.TrailingZeros64(word)
-				aVisB := base.Visited(a)
-				// a's own self-conflict edge closes the path as soon as a
-				// survives the cut; outside subtree(b) the base path is
-				// the surviving witness.
-				if graph.BitGet(sc, a) && aVisB && (!bVis || !base.TreeAncestor(b, a)) {
+				gA := groupOf[a]
+				if s.cellEp[gA] != s.cellTick {
+					s.cellEp[gA] = s.cellTick
+					st := cellFalse
+					var mn, mx int32
+					for _, g2 := range ga[gA] {
+						pool := s.pools[g2]
+						if len(pool) == 0 {
+							continue
+						}
+						if st == cellFalse {
+							st = cellNone
+						}
+						for _, y := range pool {
+							t := btin[y]
+							if bVis && btin[b] <= t && t <= btout[b] {
+								continue // y's base path may pass through b
+							}
+							if st != cellSome {
+								st, mn, mx = cellSome, t, t
+							} else if t < mn {
+								mn = t
+							} else if t > mx {
+								mx = t
+							}
+						}
+					}
+					s.cellSt[gA], s.cellMin[gA], s.cellMax[gA] = st, mn, mx
+				}
+				if s.cellSt[gA] == cellSome {
+					if !base.Visited(a) {
+						graph.BitSet(row, a)
+						continue
+					}
+					if !(btin[a] <= s.cellMin[gA] && s.cellMax[gA] <= btout[a]) {
+						graph.BitSet(row, a)
+						continue
+					}
+					// a's subtree covers every surviving witness; only
+					// the self-conflict arm can still decide cheaply —
+					// a's own edge closes the path as soon as a survives
+					// the cut, witnessed by a base path outside
+					// subtree(b).
+					if graph.BitGet(sc, a) && (!bVis || !(btin[b] <= btin[a] && btin[a] <= btout[b])) {
+						graph.BitSet(row, a)
+						continue
+					}
+					done = false // inconclusive: needs the cut sweep
+					continue
+				}
+				// cellFalse / cellNone: no surviving pool witness, so the
+				// self-conflict arm is the only cheap decider left.
+				if graph.BitGet(sc, a) && base.Visited(a) && (!bVis || !(btin[b] <= btin[a] && btin[a] <= btout[b])) {
 					graph.BitSet(row, a)
 					continue
 				}
-				dec, anyBase := false, false
-				for _, g2 := range ga[groupOf[a]] {
-					pool := s.pools[g2]
-					if len(pool) == 0 {
-						continue
-					}
-					anyBase = true
-					for _, y := range pool {
-						if int(y) == a {
-							continue
-						}
-						if bVis && base.TreeAncestor(b, int(y)) {
-							continue // y's base path may pass through b
-						}
-						if aVisB && base.TreeAncestor(a, int(y)) {
-							continue // y's base path may pass through a
-						}
-						dec = true
-						break
-					}
-					if dec {
-						break
-					}
-				}
-				if dec {
-					graph.BitSet(row, a)
-				} else if anyBase {
+				if s.cellSt[gA] == cellNone {
 					done = false // inconclusive: needs the cut sweep
 				}
-				// !anyBase: exactly FALSE — no member of T(a) is even
+				// cellFalse: exactly FALSE — no member of T(a) is even
 				// base-reachable, and cut-visited is a subset of that.
 			}
 		}
@@ -709,6 +773,16 @@ func hubPairSearch(s *hubScratch, hub *graph.CSR, cs *conflict.Set, n, a, b int,
 	return false
 }
 
+// mixedAdj is the global mixed adjacency consumed by the word-parallel
+// restricted searches: directed conflict rows (physically shared per
+// class when the caller condensed them — never expanded here) plus the
+// sparse program-order edges, traversed separately so no per-access n-bit
+// union row ever materializes.
+type mixedAdj struct {
+	dir graph.Rows
+	adj [][]int
+}
+
 // regionScratch is one worker's reusable state for sccCompute.
 type regionScratch struct {
 	localOf []int32  // global -> local id, valid for the current region only
@@ -731,52 +805,48 @@ func sccCompute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set)
 	w := graph.WordsFor(n)
 	adj := ag.G.Adj
 
-	dirOut := con.DirRows
+	var dirOut graph.Rows = con.DirRows
 	if dirOut == nil {
 		cdir := con.ConflictDir
-		dirOut = graph.NewBitMatrix(n)
+		dm := graph.NewBitMatrix(n)
 		for x := 0; x < n; x++ {
 			for _, y := range cs.Partners(x) {
 				if cdir(x, y) {
-					dirOut.Set(x, y)
+					dm.Set(x, y)
 				}
 			}
 		}
+		dirOut = dm
 	}
-	dirIn := dirOut.Transpose()
+	dirIn := graph.TransposeRows(dirOut)
 
-	iter := func(u int, visit func(v int32)) {
-		for _, v := range adj[u] {
-			visit(int32(v))
-		}
-		for wi, word := range dirOut.Row(u) {
-			for ; word != 0; word &= word - 1 {
-				visit(int32(wi<<6 + bits.TrailingZeros64(word)))
+	cd := con.Comp
+	if cd == nil {
+		iter := func(u int, visit func(v int32)) {
+			for _, v := range adj[u] {
+				visit(int32(v))
+			}
+			for wi, word := range dirOut.Row(u) {
+				for ; word != 0; word &= word - 1 {
+					visit(int32(wi<<6 + bits.TrailingZeros64(word)))
+				}
 			}
 		}
+		cd = graph.Condense(n, iter)
 	}
-	cd := graph.Condense(n, iter)
 
 	em, _ := endpointMask(con, w)
 	filter := con.PairFilter
 
-	// Global dense mixed adjacency for word-parallel restricted searches:
-	// with an exact removal cover, the per-pair re-search seeds its visited
-	// set with the cover and sweeps bitset rows, so its cost shrinks as the
-	// removal grows instead of paying a predicate call per encountered
-	// node. Below ~512 accesses the per-word overhead beats nothing.
-	var gd *graph.BitMatrix
+	// Global mixed adjacency for word-parallel restricted searches: with an
+	// exact removal cover, the per-pair re-search seeds its visited set with
+	// the cover and sweeps the directed conflict rows word-parallel (one
+	// physical row per class when the caller condensed them) plus the sparse
+	// program-order edges. Below ~512 accesses the per-word overhead beats
+	// nothing.
+	var gd *mixedAdj
 	if con.Removed != nil && con.RemovedExact && con.RemovedCover != nil && n >= 512 {
-		gd = graph.NewBitMatrix(n)
-		for x := 0; x < n; x++ {
-			row := gd.Row(x)
-			for _, v := range adj[x] {
-				graph.BitSet(row, v)
-			}
-			for wi, word := range dirOut.Row(x) {
-				row[wi] |= word
-			}
-		}
+		gd = &mixedAdj{dir: dirOut, adj: adj}
 	}
 
 	nw := workerCount(cd.NComp)
@@ -804,8 +874,8 @@ func sccCompute(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set)
 // (a node outside would extend the closed walk through another SCC).
 func regionSolve(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set,
 	cd *graph.Condensation, c int, members []int32,
-	dirOut, dirIn *graph.BitMatrix, em []uint64, filter func(a, b int) bool,
-	gd *graph.BitMatrix, sc *regionScratch) {
+	dirOut, dirIn graph.Rows, em []uint64, filter func(a, b int) bool,
+	gd *mixedAdj, sc *regionScratch) {
 
 	nl := len(members)
 	w := len(sc.cand)
@@ -1091,8 +1161,8 @@ func regionSolve(ag *ir.AccessGraph, cs *conflict.Set, con Constraints, out *Set
 // the first-visit-tree witness screen fails to certify a pair.
 func denseSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 	members []int32, mask []uint64, lof []int32,
-	dirOut, dirIn *graph.BitMatrix, em []uint64, filter func(a, b int) bool,
-	gd *graph.BitMatrix, sc *regionScratch) {
+	dirOut, dirIn graph.Rows, em []uint64, filter func(a, b int) bool,
+	gd *mixedAdj, sc *regionScratch) {
 
 	nl := len(members)
 	lw := graph.WordsFor(nl)
@@ -1260,7 +1330,7 @@ func denseSolve(ag *ir.AccessGraph, con Constraints, out *Set,
 // usable self-conflict edge), and b's removal is irrelevant because the
 // cut already keeps the walk from re-entering its own target (a walk
 // through b restarts at b, shrinking to one the suffix proves).
-func denseRestrict(gd *graph.BitMatrix, mask, cov, ta, drow []uint64,
+func denseRestrict(gd *mixedAdj, mask, cov, ta, drow []uint64,
 	a, b int, vis, teff []uint64, queue []int32) ([]int32, bool) {
 
 	any := false
@@ -1305,7 +1375,8 @@ func denseRestrict(gd *graph.BitMatrix, mask, cov, ta, drow []uint64,
 		}
 	}
 	for qi := 0; qi < len(queue); qi++ {
-		row := gd.Row(int(queue[qi]))
+		u := int(queue[qi])
+		row := gd.dir.Row(u)
 		for wi := range vis {
 			if row[wi]&teff[wi] != 0 {
 				return queue, true
@@ -1317,6 +1388,15 @@ func denseRestrict(gd *graph.BitMatrix, mask, cov, ta, drow []uint64,
 			vis[wi] |= nw
 			for ; nw != 0; nw &= nw - 1 {
 				queue = append(queue, int32(wi<<6+bits.TrailingZeros64(nw)))
+			}
+		}
+		for _, v := range gd.adj[u] {
+			if graph.BitGet(teff, v) {
+				return queue, true
+			}
+			if !graph.BitGet(vis, v) {
+				graph.BitSet(vis, v)
+				queue = append(queue, int32(v))
 			}
 		}
 	}

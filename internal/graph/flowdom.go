@@ -141,6 +141,19 @@ func (f *FlowDom) buildTree() {
 	}
 }
 
+// TreeTimes exposes the first-visit tree's DFS interval numbering for the
+// current source, building the tree on first use after a Reach. Entries
+// are meaningful only for visited nodes. Intervals nest, so y lies in
+// subtree(a) iff tin[a] <= tin[y] && tin[y] <= tout[a]; the entry time
+// alone orders witnesses, which lets callers reduce "is any witness
+// outside subtree(a)" to two comparisons against precomputed extremes.
+func (f *FlowDom) TreeTimes() (tin, tout []int32) {
+	if !f.treeReady {
+		f.buildTree()
+	}
+	return f.ttin, f.ttout
+}
+
 // Visited reports whether v was reached for the current source.
 func (f *FlowDom) Visited(v int) bool { return f.mark[v] == f.epoch }
 

@@ -155,7 +155,12 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 // boundary, and the same request with a sane deadline then succeeds.
 func TestRequestTimeout(t *testing.T) {
 	s, c := newTestServer(t, serve.Config{})
-	req := &serve.CompileRequest{Source: slowSource(), Procs: 8, Level: "oneway", TimeoutMs: 1}
+	// The source must cost well over the 1ms deadline even as the analysis
+	// keeps getting faster, so it is much larger than slowSource.
+	src := progen.Generate(7, progen.Options{
+		Procs: 8, MaxPhases: 24, MaxStmts: 96, MaxDepth: 4, Arrays: 6, Scalars: 6,
+	})
+	req := &serve.CompileRequest{Source: src, Procs: 8, Level: "oneway", TimeoutMs: 1}
 	_, err := c.Compile(context.Background(), req)
 	if !client.IsTimeout(err) {
 		t.Fatalf("err = %v, want request-timeout", err)

@@ -245,20 +245,6 @@ func (p *classPartition) has(a, b int) bool {
 	return graph.BitGet(p.rows[p.classOf[a]], int(p.classOf[b]))
 }
 
-// liveInto reports whether class c currently holds a member set in the
-// access bitset row. refineRClass uses it to re-verify screening hits
-// whose class may have split since the screening vectors were built:
-// membership only shrinks between coalesces, so a class that fails this
-// test stays dead until the next round.
-func (p *classPartition) liveInto(c int, row []uint64) bool {
-	for _, m := range p.members[c] {
-		if graph.BitGet(row, int(m)) {
-			return true
-		}
-	}
-	return false
-}
-
 // transClose closes crel under transitivity (length >= 1 reachability, as
 // in the per-access backing) and reports change. Exactness at the access
 // level follows from the congruence invariant: closures commute with the

@@ -163,9 +163,24 @@ func TestIncrementalFingerprintHit(t *testing.T) {
 			t.Fatal("reformatted source re-analyzed instead of hitting the fingerprint")
 		}
 	}
+	// A stored-literal edit changes the printed body but no analysis
+	// input: the input-signature tier certifies that and hands back the
+	// previous Result with zero class rows re-derived.
 	fn2 := buildSrc(editLiteral(src), 4)
-	if inc.Analyze(fn2) == r1 {
-		t.Fatal("edited source returned the stale previous Result")
+	if inc.Analyze(fn2) != r1 {
+		t.Fatal("analysis-invisible literal edit re-analyzed instead of hitting the input signature")
+	}
+	if st := inc.Stats(); st.InputHits != 1 {
+		t.Fatalf("literal edit: InputHits = %d, want 1 (stats %+v)", st.InputHits, st)
+	}
+	// Inserting an access renumbers the structure: the previous Result
+	// must not be returned.
+	if dup := editDuplicate(src); dup != "" {
+		if fn3 := buildSrc(dup, 4); fn3 != nil {
+			if inc.Analyze(fn3) == r1 {
+				t.Fatal("access-inserting edit returned the stale previous Result")
+			}
+		}
 	}
 }
 
@@ -188,13 +203,16 @@ func TestIncrementalTierSpeedup(t *testing.T) {
 	inc.Analyze(fn)
 	cold := time.Since(start)
 
+	rebuilt := buildSrc(src, tier.Opts.Procs)
 	start = time.Now()
-	r := inc.Analyze(buildSrc(src, tier.Opts.Procs))
+	r := inc.Analyze(rebuilt)
 	warm := time.Since(start)
 	if r == nil || warm*20 > cold {
 		t.Fatalf("fingerprint fast path %v vs cold %v: below 20x", warm, cold)
 	}
 
+	// Class-preserving edit: the literal change is certified invisible by
+	// the input signature, so the per-edit cost is Prepare plus digests.
 	src2 := editLiteral(src)
 	fn2 := buildSrc(src2, tier.Opts.Procs)
 	if src2 == "" || fn2 == nil {
@@ -203,15 +221,35 @@ func TestIncrementalTierSpeedup(t *testing.T) {
 	start = time.Now()
 	incRes := inc.Analyze(fn2)
 	edited := time.Since(start)
-	start = time.Now()
 	coldRes := Analyze(fn2, Options{})
-	coldEdited := time.Since(start)
 	requireSameResult(t, "acc2048 literal-edit", incRes, coldRes)
+	if st := inc.Stats(); st.InputHits != 1 {
+		t.Fatalf("literal edit: InputHits = %d, want 1 (stats %+v)", st.InputHits, st)
+	}
+	if edited*20 > cold {
+		t.Fatalf("class-preserving edit %v vs cold %v: below 20x", edited, cold)
+	}
+
+	// Structural edit: inserting an access renumbers everything after it,
+	// so the pipeline re-runs — but region fingerprints are taken in
+	// region-local ids, so the untouched regions' back-path rows replay
+	// from the cache and only the touched classes are re-derived.
+	src3 := editDuplicate(src)
+	fn3 := buildSrc(src3, tier.Opts.Procs)
+	if src3 == "" || fn3 == nil {
+		t.Fatal("acc2048 tier source has no duplicable store")
+	}
+	h0, m0 := inc.CacheStats()
+	start = time.Now()
+	incRes3 := inc.Analyze(fn3)
+	edited3 := time.Since(start)
+	coldRes3 := Analyze(fn3, Options{})
+	requireSameResult(t, "acc2048 duplicate-edit", incRes3, coldRes3)
 	hits, misses := inc.CacheStats()
-	t.Logf("cold %v, fingerprint-hit %v (%.0fx), edited %v vs cold %v (%.2fx), region cache %d hits / %d misses",
-		cold, warm, float64(cold)/float64(warm), edited, coldEdited,
-		float64(coldEdited)/float64(edited), hits, misses)
-	if hits == 0 {
-		t.Fatal("literal edit reused no memoized regions")
+	t.Logf("cold %v, fingerprint-hit %v (%.0fx), literal edit %v (%.0fx), duplicate edit %v, region cache +%d hits / +%d misses",
+		cold, warm, float64(cold)/float64(warm), edited, float64(cold)/float64(edited),
+		edited3, hits-h0, misses-m0)
+	if hits-h0 == 0 {
+		t.Fatal("access-inserting edit reused no memoized regions")
 	}
 }

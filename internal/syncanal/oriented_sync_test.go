@@ -1,0 +1,92 @@
+package syncanal
+
+import (
+	"testing"
+
+	"repro/internal/delay"
+	"repro/internal/progen"
+)
+
+// TestOrientedSyncSubsetOfD1 verifies the sync-pass-redundancy theorem the
+// single collapsed orientation pass relies on (see the steps 5-6 comment
+// in RefineSync): a sync-involving pair oriented-and-removed is searched
+// in a strict edge-subgraph of D1's instance — orientation only drops
+// directed conflict edges and the endpoint filter is identical — so the
+// oriented sync pass must compute a subset of D1. Both polynomial engines
+// are held to the containment on every buildable seed of the grid.
+func TestOrientedSyncSubsetOfD1(t *testing.T) {
+	opts := progen.Options{
+		Procs: 4, MaxPhases: 4, MaxStmts: 10, MaxDepth: 2,
+		Arrays: 3, Scalars: 3, Events: 2, Locks: 2,
+	}
+	checked := 0
+	for seed := int64(0); seed < 150; seed++ {
+		src := progen.Generate(seed, opts)
+		fn := buildSrc(src, 4)
+		if fn == nil || len(fn.Accesses) == 0 {
+			continue
+		}
+		res := Analyze(fn, Options{})
+		var syncIDs []int
+		for _, a := range fn.Accesses {
+			if a.Kind.IsSync() {
+				syncIDs = append(syncIDs, a.ID)
+			}
+		}
+		if len(syncIDs) == 0 {
+			continue
+		}
+		orientDir := func(x, y int) bool { return !res.R.Has(y, x) }
+		for _, eng := range []struct {
+			name string
+			e    delay.Engine
+		}{{"region", 0}, {"whole", delay.EngineWhole}} {
+			oriented := delay.Compute(res.AG, res.CS, delay.Constraints{
+				Endpoints:   syncIDs,
+				ConflictDir: orientDir,
+				Engine:      eng.e,
+			})
+			for _, p := range oriented.Pairs() {
+				if !res.D1.Has(p.A, p.B) {
+					t.Fatalf("seed %d %s: oriented sync pair [%d,%d] outside D1",
+						seed, eng.name, p.A, p.B)
+				}
+			}
+		}
+		checked++
+	}
+	if checked < 80 {
+		t.Fatalf("only %d of 150 seeds had sync accesses and built, want >= 80", checked)
+	}
+}
+
+// TestOrientedSyncSubsetOfD1Tier pins the containment on the 2k-access
+// scale tier, where the batched sweeps actually stream off class rows.
+func TestOrientedSyncSubsetOfD1Tier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second tier check in -short mode")
+	}
+	fn := tierProgram(t, "acc2048")
+	res := Analyze(fn, Options{})
+	var syncIDs []int
+	for _, a := range fn.Accesses {
+		if a.Kind.IsSync() {
+			syncIDs = append(syncIDs, a.ID)
+		}
+	}
+	orientDir := func(x, y int) bool { return !res.R.Has(y, x) }
+	oriented := delay.Compute(res.AG, res.CS, delay.Constraints{
+		Endpoints:   syncIDs,
+		ConflictDir: orientDir,
+	})
+	missing := 0
+	for _, p := range oriented.Pairs() {
+		if !res.D1.Has(p.A, p.B) {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("acc2048: %d of %d oriented sync pairs outside D1 (|D1|=%d)",
+			missing, oriented.Size(), res.D1.Size())
+	}
+}

@@ -88,7 +88,7 @@ func BenchmarkAnalysisScaling(b *testing.B) {
 		b.Log("set PSC_SCALE_TIERS=1 to run the multi-minute scale tiers")
 		return
 	}
-	for _, name := range []string{"acc2048", "acc8192"} {
+	for _, name := range []string{"acc2048", "acc8192", "acc32768"} {
 		fn := tierProgram(b, name)
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()

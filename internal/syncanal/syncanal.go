@@ -69,6 +69,10 @@ type Options struct {
 	// the previous edit's R so an unchanged precedence input skips the
 	// seed + refine fixpoint entirely.
 	precCache *precedenceCache
+	// matCache, when set (by Incremental), carries the baseline and D1
+	// matrices of the previous edit so unchanged structural inputs skip
+	// the two whole-program back-path computations.
+	matCache *matrixCache
 }
 
 // Precedence is the relation R: Has(a, b) means access a is guaranteed to
@@ -303,8 +307,10 @@ type Result struct {
 	Guards map[int]map[string]bool
 	// CoPhase is the symmetric co-phase relation (nil when barrier
 	// analysis is disabled): CoPhase.Has(x, y) reports that accesses x and
-	// y can appear in a common barrier-free region.
-	CoPhase *graph.BitMatrix
+	// y can appear in a common barrier-free region. The backing is
+	// class-condensed: accesses with the same region-membership set share
+	// one physical row.
+	CoPhase *graph.ClassRows
 	// Regions and LargestRegion describe the strongly-connected-component
 	// decomposition of the oriented mixed graph the regionized delay
 	// engine works on: how many regions there are and how many accesses
@@ -327,6 +333,14 @@ type Result struct {
 // ComputeBaseline (Shasha–Snir cycle detection), and RefineSync (the
 // synchronization analysis of section 5).
 func Analyze(fn *ir.Fn, opts Options) *Result {
+	// SPMD programs repeat phase structure, so distinct regions — within
+	// one pass and across the baseline/D1/data passes — frequently share
+	// their local-id fingerprint. A per-call region cache dedupes those
+	// solves; the fingerprint covers everything the answer depends on, so
+	// intra-program reuse is exact for the same reason cross-edit reuse is.
+	if opts.regionCache == nil {
+		opts.regionCache = delay.NewRegionCache(0)
+	}
 	res := Prepare(fn)
 	res.ComputeBaseline(opts)
 	res.RefineSync(opts)
@@ -355,8 +369,16 @@ func (res *Result) ComputeBaseline(opts Options) {
 		return
 	}
 	t0 := time.Now()
+	if cached := opts.matCache.lookupBaseline(res); cached != nil {
+		// Structural inputs unchanged since the previous edit: the
+		// baseline is a pure function of them, reused read-only.
+		res.Baseline = cached
+		res.Timing.Baseline = time.Since(t0)
+		return
+	}
 	res.Baseline = delay.Compute(res.AG, res.CS, delay.Constraints{
 		Exact: opts.Exact, Reference: opts.Reference, Engine: opts.Engine,
+		Cache: opts.regionCache,
 	})
 	res.Timing.Baseline = time.Since(t0)
 }
@@ -379,12 +401,18 @@ func (res *Result) RefineSync(opts Options) {
 			syncIDs = append(syncIDs, a.ID)
 		}
 	}
-	res.D1 = delay.Compute(res.AG, res.CS, delay.Constraints{
-		Endpoints: syncIDs,
-		Exact:     opts.Exact,
-		Reference: opts.Reference,
-		Engine:    opts.Engine,
-	})
+	if cached := opts.matCache.lookupD1(res); cached != nil {
+		res.D1 = cached
+	} else {
+		res.D1 = delay.Compute(res.AG, res.CS, delay.Constraints{
+			Endpoints: syncIDs,
+			Exact:     opts.Exact,
+			Reference: opts.Reference,
+			Engine:    opts.Engine,
+			Cache:     opts.regionCache,
+		})
+		opts.matCache.store(res, res.Baseline, res.D1)
+	}
 	res.Timing.D1 = time.Since(t0)
 
 	// Step 3: seed R. Both seed rules are rectangles over whole access
@@ -564,40 +592,111 @@ func (res *Result) refineSyncRest(opts Options, syncIDs []int) {
 		return false
 	}
 
+	// Class partitions for the oriented pass, computed before the
+	// orientation rows so those can be built in class coordinates. Nil
+	// under the per-access oracle backing (and for >64 distinct locks),
+	// where the engines get materialized per-access rows instead.
+	var nodeSig func(x int, mask []uint64, lof []int32, s *delay.Sig)
+	var classSig func(members []int32, mask []uint64, lof []int32, s *delay.Sig)
+	var classBase, classPhased []int32
+	if res.R.cp != nil {
+		classSig = res.classSigFn(guardBits)
+		classBase, classPhased = res.accessClasses(guardBits)
+	} else {
+		nodeSig = func(x int, mask []uint64, lof []int32, s *delay.Sig) {
+			for wi, wd := range res.R.Row(x) {
+				for m := wd & mask[wi]; m != 0; m &= m - 1 {
+					s.Word(uint64(lof[wi<<6+bits.TrailingZeros64(m)]))
+				}
+			}
+			s.Word(1 << 63)
+			if guardBits != nil {
+				s.Word(guardBits[x])
+			}
+		}
+	}
+
 	// Bit-parallel forms of the same constraints for the batched engines.
 	// The closure forms above stay on the Constraints so the per-pair
 	// reference oracle re-derives every answer independently of these
-	// precomputed rows.
+	// precomputed rows. ox[y] = C(x, y) &^ R(y, x): the direction x -> y is
+	// dropped exactly when [y, x] ∈ R. Both inputs are class-shared — the
+	// conflict row per similarity group, the R column row per R class — so
+	// under the class backing one physical row per base class serves every
+	// member and no per-access n x n matrix is ever materialized.
 	w := graph.WordsFor(n)
-	orientRows := graph.NewBitMatrix(n)
-	for x := 0; x < n; x++ {
-		// ColRow(x)[y] is R(y, x): the direction x -> y is dropped exactly
-		// when [y, x] ∈ R. Under the class backing the column row is shared
-		// per class, so this sweep reads c distinct rows, not n.
-		ox, cx, rx := orientRows.Row(x), res.CS.Row(x), res.R.ColRow(x)
+	buildOrientRow := func(x int, ox []uint64) {
+		cx, rx := res.CS.Row(x), res.R.ColRow(x)
 		for i := range ox {
 			ox[i] = cx[i] &^ rx[i]
 		}
 	}
-	phasedRows := orientRows
-	if res.CoPhase != nil {
-		dataMask := make([]uint64, w)
-		for _, a := range fn.Accesses {
-			if a.Kind.IsData() {
-				graph.BitSet(dataMask, a.ID)
+	dataMask := make([]uint64, w)
+	for _, a := range fn.Accesses {
+		if a.Kind.IsData() {
+			graph.BitSet(dataMask, a.ID)
+		}
+	}
+	// phasedRow masks the phase filter into an orientation row in place:
+	// data->data conflict directions survive only co-phase.
+	phaseRow := func(x int, px []uint64) {
+		if res.CoPhase != nil && fn.Accesses[x].Kind.IsData() {
+			cr := res.CoPhase.Row(x)
+			for i := range px {
+				px[i] &= ^dataMask[i] | cr[i]
 			}
 		}
-		phasedRows = graph.NewBitMatrix(n)
-		for x := 0; x < n; x++ {
-			px, ox := phasedRows.Row(x), orientRows.Row(x)
-			if fn.Accesses[x].Kind.IsData() {
-				cr := res.CoPhase.Row(x)
-				for i := range px {
-					px[i] = ox[i] & (^dataMask[i] | cr[i])
-				}
-			} else {
-				copy(px, ox)
+	}
+	var orientRows, phasedRows graph.Rows
+	if classBase != nil {
+		nb := 0
+		for _, c := range classBase {
+			if int(c)+1 > nb {
+				nb = int(c) + 1
 			}
+		}
+		baseRows := make([][]uint64, nb)
+		for x := 0; x < n; x++ {
+			if c := classBase[x]; baseRows[c] == nil {
+				baseRows[c] = make([]uint64, w)
+				buildOrientRow(x, baseRows[c])
+			}
+		}
+		orientRows = graph.NewClassRows(classBase, baseRows, n)
+		phasedRows = orientRows
+		if res.CoPhase != nil {
+			np := 0
+			for _, c := range classPhased {
+				if int(c)+1 > np {
+					np = int(c) + 1
+				}
+			}
+			phRows := make([][]uint64, np)
+			for x := 0; x < n; x++ {
+				if c := classPhased[x]; phRows[c] == nil {
+					row := make([]uint64, w)
+					copy(row, baseRows[classBase[x]]) // phased refines base
+					phaseRow(x, row)
+					phRows[c] = row
+				}
+			}
+			phasedRows = graph.NewClassRows(classPhased, phRows, n)
+		}
+	} else {
+		om := graph.NewBitMatrix(n)
+		for x := 0; x < n; x++ {
+			buildOrientRow(x, om.Row(x))
+		}
+		orientRows = om
+		phasedRows = om
+		if res.CoPhase != nil {
+			pm := graph.NewBitMatrix(n)
+			for x := 0; x < n; x++ {
+				px := pm.Row(x)
+				copy(px, om.Row(x))
+				phaseRow(x, px)
+			}
+			phasedRows = pm
 		}
 	}
 	// Exact bitset cover of the removed() predicate: R.Row(a) covers the
@@ -664,55 +763,31 @@ func (res *Result) refineSyncRest(opts Options, syncIDs []int) {
 		}
 	}
 
-	// Steps 5-6, in two passes: pairs involving a synchronization access
-	// keep the full conflict set (orientation and removal only); pairs of
-	// two data accesses additionally drop phase-separated conflict edges.
+	// Steps 5-6. The paper's two oriented passes collapse to one: a pair
+	// involving a synchronization access is oriented-and-removed in a
+	// strict edge-subgraph of D1's instance (orientation only drops
+	// directed conflict edges, removal only excludes interior nodes, and
+	// the endpoint filter is identical), so every sync-involving oriented
+	// delay is already in D1 and the sync pass contributes nothing to the
+	// union — TestOrientedSyncSubsetOfD1 holds the engines to that
+	// containment. Only the data-data pass (phase filter on top of
+	// orientation) can produce pairs outside D1.
+	//
 	// The cover above is exact (each arm of removed() is covered by exactly
 	// its own rows), which lets the regionized engine fold it straight into
 	// restricted-search visited sets. nodeSig feeds the same rows into the
 	// per-region memo key for incremental analysis: removed() consults, for
 	// nodes of one region, only R restricted to that region plus the nodes'
 	// lock-guard sets, so hashing those (in local ids) makes region reuse
-	// exact under global renumbering.
-	var nodeSig func(x int, mask []uint64, lof []int32, s *delay.Sig)
-	var classSig func(members []int32, mask []uint64, lof []int32, s *delay.Sig)
-	var classBase, classPhased []int32
-	if res.R.cp != nil {
-		classSig = res.classSigFn(guardBits)
-		classBase, classPhased = res.accessClasses(guardBits)
-	} else {
-		nodeSig = func(x int, mask []uint64, lof []int32, s *delay.Sig) {
-			for wi, wd := range res.R.Row(x) {
-				for m := wd & mask[wi]; m != 0; m &= m - 1 {
-					s.Word(uint64(lof[wi<<6+bits.TrailingZeros64(m)]))
-				}
-			}
-			s.Word(1 << 63)
-			if guardBits != nil {
-				s.Word(guardBits[x])
-			}
-		}
-	}
-	syncPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
-		Endpoints:    syncIDs,
-		ConflictDir:  orientDir,
-		DirRows:      orientRows,
-		Removed:      removed,
-		RemovedCover: cover,
-		RemovedExact: true,
-		Cache:        opts.regionCache,
-		NodeSig:      nodeSig,
-		ClassSig:     classSig,
-		AccessClass:  classBase,
-		Exact:        opts.Exact,
-		Reference:    opts.Reference,
-		Engine:       opts.Engine,
-	})
+	// exact under global renumbering. Comp shares the condensation computed
+	// for the region statistics: the phased graph is an edge-subgraph of
+	// the orient graph, so the orient SCCs are closed under phased edges.
 	dataPairs := delay.Compute(res.AG, res.CS, delay.Constraints{
 		Endpoints:     syncIDs,
 		EndpointsMode: delay.EndpointsExclude,
 		ConflictDir:   phasedDir,
 		DirRows:       phasedRows,
+		Comp:          cond,
 		Removed:       removed,
 		RemovedCover:  cover,
 		RemovedExact:  true,
@@ -724,7 +799,7 @@ func (res *Result) refineSyncRest(opts Options, syncIDs []int) {
 		Reference:     opts.Reference,
 		Engine:        opts.Engine,
 	})
-	res.D = res.D1.Union(syncPairs).Union(dataPairs)
+	res.D = res.D1.Union(dataPairs)
 	res.Timing.Orient = time.Since(t0)
 }
 
@@ -733,27 +808,29 @@ func (res *Result) refineSyncRest(opts Options, syncIDs []int) {
 // and y. Regions start at the program entry and immediately after each
 // barrier access, and extend until the next barrier. Accesses that are
 // never co-phase cannot execute concurrently under aligned barriers.
-func buildCoPhase(fn *ir.Fn, ag *ir.AccessGraph) *graph.BitMatrix {
+func buildCoPhase(fn *ir.Fn, ag *ir.AccessGraph) *graph.ClassRows {
 	n := len(fn.Accesses)
-	co := graph.NewBitMatrix(n)
 	isBarrier := func(id int) bool { return fn.Accesses[id].Kind == ir.AccBarrier }
 
-	// One region mask, OR-ed into every member's row: |region|*n/64 word
-	// operations instead of |region|^2 bit stores.
-	mask := make([]uint64, graph.WordsFor(n))
+	// An access's co-phase row is the union of the masks of the regions
+	// containing it, so the row depends only on the access's
+	// region-membership set. Collect per-access membership lists, intern
+	// them into classes, and build one shared row per class: O(#regions *
+	// n/64) words where the per-access matrix was O(n^2/64).
+	w := graph.WordsFor(n)
+	var regionMasks [][]uint64
+	memberOf := make([][]int32, n) // access -> region ids, ascending
 	mark := func(region []int) {
-		for i := range mask {
-			mask[i] = 0
+		if len(region) == 0 {
+			return
 		}
+		mask := make([]uint64, w)
+		id := int32(len(regionMasks))
 		for _, x := range region {
 			graph.BitSet(mask, x)
+			memberOf[x] = append(memberOf[x], id)
 		}
-		for _, x := range region {
-			row := co.Row(x)
-			for i := range mask {
-				row[i] |= mask[i]
-			}
-		}
+		regionMasks = append(regionMasks, mask)
 	}
 	// BFS limited to non-barrier nodes.
 	sweep := func(starts []int) []int {
@@ -796,7 +873,34 @@ func buildCoPhase(fn *ir.Fn, ag *ir.AccessGraph) *graph.BitMatrix {
 			mark(sweep(ag.G.Adj[a.ID]))
 		}
 	}
-	return co
+
+	// Intern membership lists: accesses in the same regions share a class
+	// (and hence one physical row). Barrier accesses and anything outside
+	// every region land in the empty class with an all-zero row.
+	classOf := make([]int32, n)
+	idx := make(map[string]int32)
+	var rows [][]uint64
+	var keyBuf []byte
+	for x := 0; x < n; x++ {
+		keyBuf = keyBuf[:0]
+		for _, r := range memberOf[x] {
+			keyBuf = append(keyBuf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+		}
+		c, ok := idx[string(keyBuf)]
+		if !ok {
+			c = int32(len(rows))
+			idx[string(keyBuf)] = c
+			row := make([]uint64, w)
+			for _, r := range memberOf[x] {
+				for i, wd := range regionMasks[r] {
+					row[i] |= wd
+				}
+			}
+			rows = append(rows, row)
+		}
+		classOf[x] = c
+	}
+	return graph.NewClassRows(classOf, rows, n)
 }
 
 // firstAccesses returns the accesses reachable from the function entry
@@ -843,6 +947,7 @@ func eventsMatch(post, wait *ir.Access) bool {
 // orders of magnitude.
 type succClass struct {
 	succs   []int
+	row     []uint64 // filtered target bitset (dense interning path only)
 	members []int32
 }
 
@@ -852,8 +957,147 @@ type predClass struct {
 }
 
 // derivationClasses builds the interned producer/consumer classes of the
-// step-4 derivation from the dominator-classified D1 pairs.
+// step-4 derivation from the dominator-classified D1 pairs. On a dense D1
+// it filters whole matrix rows against inline dominator-interval tests and
+// interns the filtered rows by hash — no Pairs() materialization, no n x n
+// predecessor matrix; the pair-iterating oracle remains for sparse sets.
 func (res *Result) derivationClasses() ([]*succClass, []*predClass) {
+	if len(res.Fn.Accesses) == 0 {
+		return nil, nil
+	}
+	if byA := res.D1.SourceMatrix(); byA != nil {
+		return res.derivationClassesRows(byA)
+	}
+	return res.derivationClassesPairs()
+}
+
+// derivationClassesRows is the dense-row path: the producer side filters
+// each A-major D1 row to the targets the domination conditions admit, the
+// consumer side filters each B-major row to its dominating sources, and
+// both sides intern the filtered bitsets directly (equal rows — the exact
+// class key — hash to the same bucket; an access with an all-zero filtered
+// row joins no class, matching the skip of empty succ/pred sets).
+func (res *Result) derivationClassesRows(byA *graph.BitMatrix) ([]*succClass, []*predClass) {
+	fn := res.Fn
+	n := len(fn.Accesses)
+	w := graph.WordsFor(n)
+	blk := make([]int32, n)
+	idx := make([]int32, n)
+	for i, a := range fn.Accesses {
+		blk[i] = int32(a.Blk.ID)
+		idx[i] = int32(a.Idx)
+	}
+	dom, pdom := res.Dom, res.PDom
+	rowBuf := make([]uint64, w)
+
+	hash := func(row []uint64) uint64 {
+		h := uint64(1469598103934665603)
+		for _, wd := range row {
+			h ^= wd
+			h *= 1099511628211
+		}
+		return h
+	}
+
+	// Producer side: keep b when a dominates b (same block: earlier index;
+	// the postdomination arm collapses to the same index test in-block) or
+	// b postdominates a.
+	var sClasses []*succClass
+	sBuck := make(map[uint64][]int)
+	for a := 0; a < n; a++ {
+		nz := false
+		for wi, wd := range byA.Row(a) {
+			out := uint64(0)
+			for m := wd; m != 0; m &= m - 1 {
+				b := wi<<6 + bits.TrailingZeros64(m)
+				var keep bool
+				if blk[a] == blk[b] {
+					keep = idx[b] > idx[a]
+				} else {
+					keep = dom.Dominates(int(blk[a]), int(blk[b])) ||
+						pdom.PostDominates(int(blk[b]), int(blk[a]))
+				}
+				if keep {
+					out |= 1 << (uint(b) & 63)
+				}
+			}
+			rowBuf[wi] = out
+			nz = nz || out != 0
+		}
+		if !nz {
+			continue
+		}
+		h := hash(rowBuf)
+		ci := -1
+		for _, c := range sBuck[h] {
+			if wordsEqual(sClasses[c].row, rowBuf) {
+				ci = c
+				break
+			}
+		}
+		if ci < 0 {
+			ci = len(sClasses)
+			sBuck[h] = append(sBuck[h], ci)
+			row := make([]uint64, w)
+			copy(row, rowBuf)
+			var succs []int
+			for wi, wd := range row {
+				for ; wd != 0; wd &= wd - 1 {
+					succs = append(succs, wi<<6+bits.TrailingZeros64(wd))
+				}
+			}
+			sClasses = append(sClasses, &succClass{succs: succs, row: row})
+		}
+		sClasses[ci].members = append(sClasses[ci].members, int32(a))
+	}
+
+	// Consumer side: keep s when s dominates a2.
+	var pClasses []*predClass
+	pBuck := make(map[uint64][]int)
+	for a2 := 0; a2 < n; a2++ {
+		nz := false
+		for wi, wd := range res.D1.TargetRow(a2) {
+			out := uint64(0)
+			for m := wd; m != 0; m &= m - 1 {
+				s := wi<<6 + bits.TrailingZeros64(m)
+				var keep bool
+				if blk[s] == blk[a2] {
+					keep = idx[s] < idx[a2]
+				} else {
+					keep = dom.Dominates(int(blk[s]), int(blk[a2]))
+				}
+				if keep {
+					out |= 1 << (uint(s) & 63)
+				}
+			}
+			rowBuf[wi] = out
+			nz = nz || out != 0
+		}
+		if !nz {
+			continue
+		}
+		h := hash(rowBuf)
+		ci := -1
+		for _, c := range pBuck[h] {
+			if wordsEqual(pClasses[c].row, rowBuf) {
+				ci = c
+				break
+			}
+		}
+		if ci < 0 {
+			ci = len(pClasses)
+			pBuck[h] = append(pBuck[h], ci)
+			row := make([]uint64, w)
+			copy(row, rowBuf)
+			pClasses = append(pClasses, &predClass{row: row})
+		}
+		pClasses[ci].members = append(pClasses[ci].members, int32(a2))
+	}
+	return sClasses, pClasses
+}
+
+// derivationClassesPairs is the sparse-set oracle path.
+func (res *Result) derivationClassesPairs() ([]*succClass, []*predClass) {
 	fn := res.Fn
 	n := len(fn.Accesses)
 	// Precompute D1 adjacency with domination conditions.
@@ -980,37 +1224,30 @@ func (res *Result) refineRPerAccess(sClasses []*succClass, pClasses []*predClass
 // of c-bit rows instead of n-bit rows, and a firing derivation adds one
 // rectangle instead of |members|^2 edges.
 //
-// Splits during a round stale the two vector kinds differently. The
-// successor union u is rebuilt per producer from live crel rows, whose
-// set bits stay true across splits (children inherit the parent row and
-// columns), so u staleness is miss-only — and a miss always gets another
-// round, because the crel addition that would reveal it sets changed.
-// The consumer vectors are the dangerous side: pcm[pi] records which
-// classes held a dominating predecessor when the round started, and a
-// split can move the only predecessor out of a class while the stale bit
-// stays set — crel reaching the remnant class would then fire the
-// derivation with no R edge into any predecessor backing it. So once the
-// partition has split past the round start, a screening hit is only
-// provisional: the hit class is re-verified against live membership (does
-// it still hold a dominating predecessor?), which together with u's
-// staleness direction makes the fire exact — a u bit keeps covering the
-// members its class retains, and a verified pcm bit names a predecessor
-// in the class right now. A class that fails verification stays dead for
-// the rest of the round (membership only shrinks between coalesces), so
-// its bit is cleared and the screen consulted again. Verifying one class
-// per hit this way costs a short member scan, where rebuilding vectors —
-// per use or even per hit — was measured at 10x the whole fixpoint.
+// Rectangle application is deferred to the end of the round. The scan
+// therefore runs against a frozen partition — the screening vectors built
+// after the closure stay exact for the whole scan, with no re-verification
+// of hits against live membership (an earlier design applied rectangles
+// mid-scan and had to chase the splits they caused). Deferral loses
+// nothing: a derivation enabled by a rectangle applied this round fires
+// next round, which the relation growth forces anyway. The batch is
+// grouped by consumer class — all firing producers' members concatenate
+// into a single addRect per consumer — so the consumer side is split once
+// per round instead of once per fire, and the fixpoint (confluent, since
+// R only grows toward the same closure) is reached with the same final
+// relation as eager application.
 func (res *Result) refineRClass(sClasses []*succClass, pClasses []*predClass) {
 	cp := res.R.cp
 	derived := make([]bool, len(sClasses)*len(pClasses))
+	fired := make([][]int32, len(pClasses)) // pi -> concatenated producer members
+	var firedOrder []int
 	for {
 		// Coalescing before each closure keeps the class count near the
-		// number of distinct R rows: the seed rectangles and mid-round
+		// number of distinct R rows: the seed rectangles and batch-apply
 		// splits fragment the partition far beyond that, and the closure
 		// that follows is cubic in the class count. The final round fires
 		// nothing, so the fixpoint state is itself coalesced and closed.
 		cp.coalesce()
-		startSplits := cp.splits
 		changed := cp.transClose()
 		wc := cp.wc()
 		pcm := make([][]uint64, len(pClasses))
@@ -1024,6 +1261,7 @@ func (res *Result) refineRClass(sClasses []*succClass, pClasses []*predClass) {
 			}
 			pcm[pi] = v
 		}
+		firedOrder = firedOrder[:0]
 		u := make([]uint64, wc)
 		for si, sc := range sClasses {
 			for i := range u {
@@ -1035,40 +1273,31 @@ func (res *Result) refineRClass(sClasses []*succClass, pClasses []*predClass) {
 					u[i] |= row[i]
 				}
 			}
-			for pi, pc := range pClasses {
+			for pi := range pClasses {
 				if derived[si*len(pClasses)+pi] {
 					continue
 				}
-				hitc := firstCommonBit(u, pcm[pi])
-				if hitc < 0 {
+				if firstCommonBit(u, pcm[pi]) < 0 {
 					continue
 				}
-				if cp.splits != startSplits {
-					// The hit class may have split since the vectors were
-					// built, taking every dominating predecessor with it.
-					// Verify against live membership; a class that fails is
-					// dead for the rest of the round, so drop its bit and
-					// consult the screen again.
-					for hitc >= 0 && !cp.liveInto(hitc, pc.row) {
-						pcm[pi][hitc>>6] &^= 1 << (uint(hitc) & 63)
-						hitc = firstCommonBit(u, pcm[pi])
-					}
-					if hitc < 0 {
-						continue
-					}
-				}
 				derived[si*len(pClasses)+pi] = true
-				if cp.addRect(sc.members, pc.members) {
-					changed = true
+				if len(fired[pi]) == 0 {
+					firedOrder = append(firedOrder, pi)
 				}
+				fired[pi] = append(fired[pi], sc.members...)
 			}
 		}
-		// A split with no new crel bit still stales the screening vectors
-		// (a successor union built before it can miss bits of the new
-		// class), so a round that split anything must be retried even when
-		// the relation itself did not grow; only a round that neither
-		// changed crel nor split a class certifies the fixpoint.
-		if !changed && cp.splits == startSplits {
+		for _, pi := range firedOrder {
+			if cp.addRect(fired[pi], pClasses[pi].members) {
+				changed = true
+			}
+			fired[pi] = fired[pi][:0]
+		}
+		// Splits without new crel content cannot enable a derivation (they
+		// leave the access-level relation untouched, and the vectors the
+		// scan used were exact for it), so an unchanged relation after a
+		// complete scan certifies the fixpoint.
+		if !changed {
 			return
 		}
 	}
@@ -1141,17 +1370,26 @@ func computeGuards(res *Result) map[int]map[string]bool {
 // confinementReach builds the reachability closure of D1 edges plus direct
 // def-use edges (a Load's destination local used in a later access's
 // expressions forces the load's completion before that access initiates —
-// an operand dependence the hardware enforces unconditionally). The closure
-// is one condensation plus a reverse-topological row-OR DP; def-use edges
-// come from a local -> reading-accesses index, so edge collection is linear
-// in the number of uses instead of loads x accesses.
+// an operand dependence the hardware enforces unconditionally). Def-use
+// edges come from a local -> reading-accesses index, so edge collection is
+// linear in the number of uses instead of loads x accesses.
+//
+// The D1 component is consumed straight from the set's dense A-major
+// matrix — no Pairs() materialization, no per-source adjacency slices —
+// and because D1 and def-use edges both run forward in execution order the
+// graph is almost always acyclic: a Kahn sort certifies that, and the
+// closure is then a reverse-topological row-OR DP with the same
+// transitive-skip invariant graph.ReachRows uses (a successor bit already
+// present came paired with its full closure), skipping the condensation
+// entirely. Loop-carried edges that do close a cycle fall back to the
+// condensation path.
 func confinementReach(res *Result) *graph.BitMatrix {
 	fn := res.Fn
 	n := len(fn.Accesses)
-	adj := make([][]int32, n)
-	for _, p := range res.D1.Pairs() {
-		adj[p.A] = append(adj[p.A], int32(p.B))
-	}
+	byA := res.D1.SourceMatrix()
+
+	// Def-use edges, deduplicated against D1 (the Kahn in-degrees below
+	// must count each edge exactly once).
 	users := make(map[ir.LocalID][]int32)
 	var locals []ir.LocalID
 	for _, c := range fn.Accesses {
@@ -1160,6 +1398,7 @@ func confinementReach(res *Result) *graph.BitMatrix {
 			users[l] = append(users[l], int32(c.ID))
 		}
 	}
+	defuse := make([][]int32, n)
 	for _, blk := range fn.Blocks {
 		for _, s := range blk.Stmts {
 			ld, ok := s.(*ir.Load)
@@ -1167,18 +1406,81 @@ func confinementReach(res *Result) *graph.BitMatrix {
 				continue
 			}
 			for _, cid := range users[ld.Dst] {
-				if int(cid) != ld.Acc.ID {
-					adj[ld.Acc.ID] = append(adj[ld.Acc.ID], cid)
+				if int(cid) != ld.Acc.ID && (byA == nil || !graph.BitGet(byA.Row(ld.Acc.ID), int(cid))) {
+					defuse[ld.Acc.ID] = append(defuse[ld.Acc.ID], cid)
 				}
 			}
 		}
 	}
 	iter := func(u int, visit func(v int32)) {
-		for _, v := range adj[u] {
+		if byA != nil {
+			for wi, wd := range byA.Row(u) {
+				for ; wd != 0; wd &= wd - 1 {
+					visit(int32(wi<<6 + bits.TrailingZeros64(wd)))
+				}
+			}
+		} else {
+			for _, p := range res.D1.Successors(u) {
+				visit(int32(p))
+			}
+		}
+		for _, v := range defuse[u] {
 			visit(v)
 		}
 	}
-	return graph.Condense(n, iter).ReachRows(n, iter)
+	if byA == nil {
+		// Sparse D1 (small programs): the condensation path is cheap.
+		return graph.Condense(n, iter).ReachRows(n, iter)
+	}
+
+	// Kahn topological order. In-degrees of the D1 component are column
+	// popcounts of the A-major matrix, i.e. row popcounts of the B-major
+	// backing — word-parallel, no edge iteration.
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		c := 0
+		for _, wd := range res.D1.TargetRow(v) {
+			c += bits.OnesCount64(wd)
+		}
+		indeg[v] = int32(c)
+	}
+	for _, vs := range defuse {
+		for _, v := range vs {
+			indeg[v]++
+		}
+	}
+	topo := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			topo = append(topo, int32(i))
+		}
+	}
+	for head := 0; head < len(topo); head++ {
+		iter(int(topo[head]), func(v int32) {
+			if indeg[v]--; indeg[v] == 0 {
+				topo = append(topo, v)
+			}
+		})
+	}
+	if len(topo) < n {
+		return graph.Condense(n, iter).ReachRows(n, iter)
+	}
+
+	reach := graph.NewBitMatrix(n)
+	for i := len(topo) - 1; i >= 0; i-- {
+		u := topo[i]
+		row := reach.Row(int(u))
+		iter(int(u), func(v int32) {
+			if graph.BitGet(row, int(v)) {
+				return // bits enter paired with their closure
+			}
+			graph.BitSet(row, int(v))
+			for wi, wd := range reach.Row(int(v)) {
+				row[wi] |= wd
+			}
+		})
+	}
+	return reach
 }
 
 // accessLocals appends the locals the access's statement reads.
